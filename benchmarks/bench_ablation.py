@@ -1,0 +1,18 @@
+"""Ablation: Figure 2's equivocation clause is load-bearing.
+
+DESIGN.md calls out the certificate check's condition (2) — accepting
+``t2`` non-leader value entries when the leader equivocated — as the
+mechanism that buys the paper its ``n >= 5f - 1`` resilience (two parties
+better than FaB).  This bench runs the full and the ablated protocol
+through the identical attack schedule: the full protocol re-commits the
+fast-committed value; the ablated one splits.
+
+    pytest benchmarks/bench_ablation.py --benchmark-only
+"""
+from repro.analysis.ablation import run_equivocation_clause_ablation
+
+
+def test_equivocation_clause_ablation(benchmark):
+    outcome = benchmark(run_equivocation_clause_ablation)
+    assert set(outcome["full"].values()) == {"v"}
+    assert len(set(outcome["ablated"].values())) > 1

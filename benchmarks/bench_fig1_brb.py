@@ -1,0 +1,38 @@
+"""Figure 1: the 2-round-BRB protocol, vs the Bracha baseline.
+
+Regenerates the asynchrony row of Table 1 across system sizes and shows
+the 1-round gap to the unauthenticated baseline (paper Section 7).
+
+    pytest benchmarks/bench_fig1_brb.py --benchmark-only
+"""
+import pytest
+
+from repro.analysis.latency import measure_round_good_case
+from repro.protocols.brb_2round import Brb2Round
+from repro.protocols.brb_bracha import BrachaBrb
+
+
+@pytest.mark.parametrize("n,f", [(4, 1), (7, 2), (13, 4), (31, 10)])
+def test_fig1_brb_2round_scaling(benchmark, n, f):
+    meas = benchmark(lambda: measure_round_good_case(Brb2Round, n=n, f=f))
+    assert meas.round_latency == 2
+    assert meas.result.committed_value() == "v"
+
+
+@pytest.mark.parametrize("n,f", [(4, 1), (7, 2), (13, 4)])
+def test_fig1_bracha_baseline(benchmark, n, f):
+    meas = benchmark(lambda: measure_round_good_case(BrachaBrb, n=n, f=f))
+    assert meas.round_latency == 3  # one round slower: the auth gap
+
+
+def test_fig1_message_complexity(benchmark):
+    """O(n^2) messages for the authenticated protocol."""
+    def run():
+        return {
+            n: measure_round_good_case(Brb2Round, n=n, f=(n - 1) // 3).messages
+            for n in (4, 8, 16)
+        }
+
+    messages = benchmark(run)
+    # Quadratic shape: quadrupling n multiplies messages by ~16.
+    assert messages[16] / messages[4] > 8

@@ -1,0 +1,89 @@
+"""Figures 2-3: the (5f-1)-psync-VBB protocol.
+
+Good case across sizes, comparison against PBFT (3 rounds) and FaB
+(needs two more parties), the f = 1 special case the paper highlights
+(n = 4 = 3f+1 = 5f-1: 2 rounds where PBFT takes 3), and the view-change
+path under a crashed leader.
+
+    pytest benchmarks/bench_fig3_psync_vbb.py --benchmark-only
+"""
+import pytest
+
+from repro.adversary.behaviors import CrashBehavior
+from repro.analysis.latency import measure_round_good_case
+from repro.lowerbounds.thm07_psync_3round import run_vbb_survival
+from repro.protocols.psync.fab import FabPsync
+from repro.protocols.psync.pbft import PbftPsync
+from repro.protocols.psync.vbb_5f1 import PsyncVbb5f1
+from repro.sim.delays import FixedDelay
+from repro.sim.runner import run_broadcast
+
+BIG_DELTA = 1.0
+
+
+@pytest.mark.parametrize("n,f", [(4, 1), (9, 2), (14, 3), (24, 5)])
+def test_fig3_good_case_scaling(benchmark, n, f):
+    meas = benchmark(
+        lambda: measure_round_good_case(
+            PsyncVbb5f1, n=n, f=f, big_delta=BIG_DELTA
+        )
+    )
+    assert meas.round_latency == 2
+
+
+def test_fig3_f1_special_case(benchmark):
+    """n = 4 = 3f+1 = 5f-1: 2 rounds at PBFT's own minimal configuration."""
+    def run():
+        ours = measure_round_good_case(
+            PsyncVbb5f1, n=4, f=1, big_delta=BIG_DELTA
+        )
+        pbft = measure_round_good_case(
+            PbftPsync, n=4, f=1, big_delta=BIG_DELTA
+        )
+        return ours.round_latency, pbft.round_latency
+
+    ours, pbft = benchmark(run)
+    assert (ours, pbft) == (2, 3)
+
+
+def test_fig3_resilience_vs_fab(benchmark):
+    """Same f = 2: the paper's protocol needs n = 9, FaB needs n = 11."""
+    def run():
+        ours = measure_round_good_case(
+            PsyncVbb5f1, n=9, f=2, big_delta=BIG_DELTA
+        )
+        fab = measure_round_good_case(
+            FabPsync, n=11, f=2, big_delta=BIG_DELTA
+        )
+        return ours, fab
+
+    ours, fab = benchmark(run)
+    assert ours.round_latency == fab.round_latency == 2
+    with pytest.raises(ValueError):
+        measure_round_good_case(FabPsync, n=9, f=2, big_delta=BIG_DELTA)
+
+
+def test_fig3_view_change_under_crashed_leader(benchmark):
+    def run():
+        return run_broadcast(
+            n=9,
+            f=2,
+            party_factory=PsyncVbb5f1.factory(
+                broadcaster=0, input_value="v", big_delta=BIG_DELTA,
+                fallback_value="fb",
+            ),
+            delay_policy=FixedDelay(0.1),
+            byzantine=frozenset({0}),
+            behavior_factory=CrashBehavior,
+            until=500.0,
+        )
+
+    result = benchmark(run)
+    assert result.all_honest_committed()
+    assert result.committed_value() == "fb"
+
+
+def test_fig3_equivocation_survival(benchmark):
+    """The certificate check under the Theorem 7 attack shape."""
+    commits = benchmark(run_vbb_survival)
+    assert set(commits.values()) == {"v"}

@@ -1,0 +1,72 @@
+"""Figures 5, 6, 10: the synchronous upper-bound protocols.
+
+Latency as a function of the actual delay bound delta, per regime; plus
+the Dolev-Strong worst-case baseline that motivates good-case analysis.
+
+    pytest benchmarks/bench_fig5_6_sync_bb.py --benchmark-only
+"""
+import pytest
+
+from repro.analysis.latency import measure_sync_good_case
+from repro.analysis.sweeps import sweep_sync_regimes
+from repro.net.synchrony import SynchronyModel
+from repro.protocols.dolev_strong import DolevStrongBb
+from repro.protocols.sync.bb_2delta import Bb2Delta
+from repro.protocols.sync.bb_delta_delta_n3 import BbDeltaDeltaN3
+from repro.protocols.sync.bb_delta_delta_sync import BbDeltaDeltaSync
+
+BIG_DELTA = 1.0
+
+
+@pytest.mark.parametrize("delta", [0.1, 0.25, 0.5, 1.0])
+def test_fig10_2delta(benchmark, delta):
+    model = SynchronyModel(delta=delta, big_delta=BIG_DELTA, skew=delta)
+    meas = benchmark(
+        lambda: measure_sync_good_case(Bb2Delta, n=7, f=2, model=model)
+    )
+    assert meas.time_latency == pytest.approx(2 * delta)
+
+
+@pytest.mark.parametrize("delta", [0.1, 0.25, 0.5, 1.0])
+def test_fig5_delta_plus_delta_at_n3(benchmark, delta):
+    model = SynchronyModel(delta=delta, big_delta=BIG_DELTA, skew=0.0)
+    meas = benchmark(
+        lambda: measure_sync_good_case(BbDeltaDeltaN3, n=6, f=2, model=model)
+    )
+    assert meas.time_latency == pytest.approx(BIG_DELTA + delta)
+
+
+@pytest.mark.parametrize("delta", [0.1, 0.25, 0.5, 1.0])
+def test_fig6_delta_plus_delta_sync_start(benchmark, delta):
+    model = SynchronyModel(delta=delta, big_delta=BIG_DELTA, skew=0.0)
+    meas = benchmark(
+        lambda: measure_sync_good_case(
+            BbDeltaDeltaSync, n=5, f=2, model=model, skew_pattern="zero"
+        )
+    )
+    assert meas.time_latency == pytest.approx(BIG_DELTA + delta)
+
+
+@pytest.mark.parametrize("f", [1, 2, 3])
+def test_dolev_strong_worst_case_baseline(benchmark, f):
+    """(f+1) * 2*Delta regardless of delta: why good-case latency matters."""
+    model = SynchronyModel(delta=0.01, big_delta=BIG_DELTA, skew=0.0)
+    meas = benchmark(
+        lambda: measure_sync_good_case(
+            DolevStrongBb, n=7, f=f, model=model, until=1000.0
+        )
+    )
+    assert meas.time_latency == pytest.approx((f + 1) * 2 * BIG_DELTA)
+
+
+def test_full_sync_spectrum(benchmark):
+    """The whole synchrony story in one sweep (Table 1 rows 4-7)."""
+    series = benchmark(lambda: sweep_sync_regimes(deltas=[0.25, 1.0]))
+    at_small = {name: pts[0].latency for name, pts in series.items()}
+    assert (
+        at_small["2delta (f<n/3)"]
+        < at_small["Delta+delta (f=n/3)"]
+        < at_small["Delta+1.5delta (unsync)"]
+        < at_small["Delta+2delta (baseline)"]
+        < at_small["DolevStrong (worst-case)"]
+    )

@@ -1,0 +1,61 @@
+"""SMR throughput: the paper's motivating application, quantified.
+
+A stable honest leader over the (5f-1)-psync-VBB commits one command per
+two message delays — versus three for a PBFT-based log, a 1.5x good-case
+throughput edge for sequential commits.
+
+    pytest benchmarks/bench_smr.py --benchmark-only
+"""
+import pytest
+
+from repro.protocols.psync.pbft import PbftPsync
+from repro.sim.delays import FixedDelay
+from repro.sim.runner import World
+from repro.smr import Counter, smr_factory
+
+DELTA = 0.1
+
+
+def run_smr(protocol_cls, *, slots, n, f):
+    world = World(n=n, f=f, delay_policy=FixedDelay(DELTA))
+    world.populate(
+        smr_factory(
+            leader=0,
+            workload=list(range(slots)),
+            state_machine_factory=Counter,
+            big_delta=1.0,
+            protocol_cls=protocol_cls,
+        )
+    )
+    world.run(until=1000.0)
+    replica = world.honest_parties()[1]
+    assert len(replica.committed_log) == slots
+    return replica.commit_times[slots - 1]
+
+
+@pytest.mark.parametrize("slots", [5, 20])
+def test_vbb_smr_two_delays_per_slot(benchmark, slots):
+    finish = benchmark(lambda: run_smr(None or _vbb(), slots=slots, n=9, f=2))
+    assert finish == pytest.approx(slots * 2 * DELTA)
+
+
+def _vbb():
+    from repro.protocols.psync.vbb_5f1 import PsyncVbb5f1
+    return PsyncVbb5f1
+
+
+@pytest.mark.parametrize("slots", [5, 20])
+def test_pbft_smr_three_delays_per_slot(benchmark, slots):
+    finish = benchmark(lambda: run_smr(PbftPsync, slots=slots, n=7, f=2))
+    assert finish == pytest.approx(slots * 3 * DELTA)
+
+
+def test_good_case_throughput_edge(benchmark):
+    """The 1.5x sequential-throughput edge of 2-round commit."""
+    def run():
+        vbb = run_smr(_vbb(), slots=10, n=9, f=2)
+        pbft = run_smr(PbftPsync, slots=10, n=7, f=2)
+        return vbb, pbft
+
+    vbb, pbft = benchmark(run)
+    assert pbft / vbb == pytest.approx(1.5)

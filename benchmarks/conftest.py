@@ -1,0 +1,7 @@
+"""Shared benchmark helpers."""
+import pytest
+
+
+@pytest.fixture(scope="session")
+def big_delta():
+    return 1.0

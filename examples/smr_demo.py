@@ -1,0 +1,60 @@
+"""BFT state machine replication from 2-round broadcast.
+
+    python examples/smr_demo.py
+
+The paper's motivating application: each slot of a replicated log is one
+instance of the (5f-1)-psync-VBB protocol, so a stable honest leader
+commits one client command every two message delays.  The demo runs a
+replicated key-value store twice — once with a healthy leader, once with
+a crashed leader (view changes fill the log with no-ops) — and shows the
+replicas' states agree in both runs.
+"""
+from repro.adversary.behaviors import CrashBehavior
+from repro.sim.delays import FixedDelay
+from repro.sim.runner import World
+from repro.smr import KeyValueStore, smr_factory
+
+WORKLOAD = [
+    ("set", "alice", 10),
+    ("set", "bob", 20),
+    ("set", "carol", 30),
+    ("del", "bob"),
+    ("set", "alice", 11),
+]
+
+
+def run(byzantine=frozenset(), behavior=None, label=""):
+    print(f"=== {label} ===")
+    world = World(
+        n=9, f=2, delay_policy=FixedDelay(0.1), byzantine=byzantine
+    )
+    world.populate(
+        smr_factory(
+            leader=0,
+            workload=WORKLOAD,
+            state_machine_factory=KeyValueStore,
+            big_delta=1.0,
+        ),
+        behavior,
+    )
+    world.run(until=500.0)
+    replicas = world.honest_parties()
+    reference = replicas[0]
+    print(f"  committed log ({len(reference.committed_log)} slots):")
+    for slot, command in enumerate(reference.committed_log):
+        t = reference.commit_times[slot]
+        print(f"    slot {slot}: {command!r}  (committed at t={t:.2f})")
+    snapshots = {r.state_machine.snapshot() for r in replicas}
+    assert len(snapshots) == 1, "replicas diverged!"
+    print(f"  final state (all {len(replicas)} replicas agree): "
+          f"{snapshots.pop()}")
+    print()
+
+
+if __name__ == "__main__":
+    run(label="healthy leader: one command per 2*delta")
+    run(
+        byzantine=frozenset({0}),
+        behavior=CrashBehavior,
+        label="crashed leader: view changes fill slots with no-ops",
+    )

@@ -1,0 +1,11 @@
+"""Legacy setup shim: this offline environment lacks the `wheel` package,
+so PEP 660 editable installs fail; `setup.py develop` works everywhere."""
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,6 @@
+"""Entry point: ``python -m repro``."""
+import sys
+
+from repro.cli import main
+
+sys.exit(main())

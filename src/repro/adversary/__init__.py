@@ -1,0 +1,26 @@
+"""Byzantine adversary behaviors and strategy builders."""
+from repro.adversary.behaviors import (
+    ByzantineBehavior,
+    CrashBehavior,
+    FilteredHonestBehavior,
+    ScriptStep,
+    ScriptedBehavior,
+    SplitBrainBehavior,
+    fixed_delay_toward,
+    pass_all,
+    silent_toward,
+)
+from repro.adversary.broadcaster import equivocating_broadcaster
+
+__all__ = [
+    "ByzantineBehavior",
+    "CrashBehavior",
+    "FilteredHonestBehavior",
+    "ScriptStep",
+    "ScriptedBehavior",
+    "SplitBrainBehavior",
+    "equivocating_broadcaster",
+    "fixed_delay_toward",
+    "pass_all",
+    "silent_toward",
+]

@@ -1,0 +1,306 @@
+"""Byzantine behaviors.
+
+The paper's adversary corrupts up to ``f`` parties, which may then behave
+arbitrarily — but its proof constructions almost always describe corrupted
+parties as *"behaving honestly except ..."* (except staying silent toward a
+group, except delaying messages, except running the honest protocol with
+two different inputs toward two different groups).  We therefore provide,
+besides a raw scripted behavior, two structured adversaries:
+
+* :class:`FilteredHonestBehavior` — runs the real protocol code but passes
+  every outgoing message through a filter that may drop it, delay it, or
+  rewrite it (with the corrupted party's own key);
+* :class:`SplitBrainBehavior` — runs *two* instances of the honest protocol
+  ("brains"), each talking only to its own partition of the parties; this
+  realizes equivocation exactly the way the proofs describe it ("behaves to
+  B, C the same way as the broadcaster in Execution 1, and to D, E the same
+  way as in Execution 5").
+
+All behaviors hold their party's :class:`~repro.crypto.signatures.Signer`,
+so they can sign anything with the corrupted key but can never forge
+honest signatures.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.sim.process import Agent, Party
+from repro.types import INF, PartyId
+
+#: Decision of a send filter: ``None`` drops the message; otherwise
+#: ``(payload, delay)`` where ``delay=None`` defers to the delay policy.
+SendDecision = "tuple[Any, float | None] | None"
+SendFilter = Callable[[PartyId, Any, float], "tuple[Any, float | None] | None"]
+
+
+class ByzantineBehavior(Agent):
+    """Base class with raw network access for corrupted parties."""
+
+    def __init__(self, world, party_id: PartyId):
+        super().__init__(world, party_id)
+        self.signer = world.registry.signer_for(party_id)
+
+    def send_raw(
+        self,
+        recipient: PartyId,
+        payload: Any,
+        *,
+        delay: float | None = None,
+    ) -> None:
+        """Send anything to anyone, with an arbitrary chosen delay."""
+        self.world.network.send(
+            self.id, recipient, payload, delay_override=delay
+        )
+
+    def multicast_raw(
+        self, payload: Any, *, delay: float | None = None
+    ) -> None:
+        for recipient in range(self.world.n):
+            if recipient != self.id:
+                self.send_raw(recipient, payload, delay=delay)
+
+
+class CrashBehavior(ByzantineBehavior):
+    """The weakest adversary: the party never sends anything."""
+
+
+@dataclass
+class ScriptStep:
+    """One pre-planned send: at global ``time``, ``payload`` to ``recipient``."""
+
+    time: float
+    recipient: PartyId
+    payload: Any
+    delay: float | None = None
+
+
+class ScriptedBehavior(ByzantineBehavior):
+    """Plays back an explicit list of sends; ignores everything received.
+
+    ``script_builder`` receives the behavior (for access to its signer) and
+    returns the steps, allowing scripts that need to sign payloads.
+    """
+
+    def __init__(
+        self,
+        world,
+        party_id: PartyId,
+        *,
+        script_builder: Callable[["ScriptedBehavior"], list[ScriptStep]],
+    ):
+        super().__init__(world, party_id)
+        self._script_builder = script_builder
+
+    def start(self) -> None:
+        for step in self._script_builder(self):
+            self.world.sim.schedule_at(
+                max(step.time, self.world.sim.now),
+                lambda s=step: self.send_raw(
+                    s.recipient, s.payload, delay=s.delay
+                ),
+                label=f"script p{self.id}",
+            )
+
+
+class _SharedSignerRegistry:
+    """Registry proxy that hands the same signer to every inner party.
+
+    Needed because the real registry issues exactly one signer per party,
+    while a split-brain behavior instantiates the protocol class several
+    times for the same corrupted id.
+    """
+
+    def __init__(self, real_registry, signer):
+        self._real = real_registry
+        self._signer = signer
+
+    def signer_for(self, party: PartyId):
+        if party != self._signer.party:
+            raise ValueError(
+                f"inner party {party} asked for a signer it does not own"
+            )
+        return self._signer
+
+    def verify(self, signed) -> bool:
+        return self._real.verify(signed)
+
+    def require_valid(self, signed):
+        return self._real.require_valid(signed)
+
+    def verify_all(self, items) -> bool:
+        return self._real.verify_all(items)
+
+
+class _InterceptingNetwork:
+    """Network proxy that routes an inner party's sends through a filter."""
+
+    def __init__(self, behavior: "FilteredHonestBehavior", brain_key: Any):
+        self._behavior = behavior
+        self._brain_key = brain_key
+
+    def send(
+        self,
+        sender: PartyId,
+        recipient: PartyId,
+        payload: Any,
+        *,
+        delay_override: float | None = None,
+    ) -> None:
+        self._behavior._filtered_send(self._brain_key, recipient, payload)
+
+    def multicast(
+        self,
+        sender: PartyId,
+        payload: Any,
+        *,
+        include_self: bool = True,
+        delay_override: float | None = None,
+    ) -> None:
+        for recipient in range(self._behavior.world.n):
+            if recipient == sender:
+                continue
+            self._behavior._filtered_send(self._brain_key, recipient, payload)
+        if include_self:
+            self._behavior._self_deliver(self._brain_key, payload)
+
+
+class _InnerWorld:
+    """World proxy seen by an inner (honestly-behaving) party instance."""
+
+    def __init__(self, behavior, brain_key):
+        outer = behavior.world
+        self.n = outer.n
+        self.f = outer.f
+        self.sim = outer.sim
+        self.start_offsets = outer.start_offsets
+        self.registry = _SharedSignerRegistry(outer.registry, behavior.signer)
+        self.network = _InterceptingNetwork(behavior, brain_key)
+
+    def note_commit(self, party: PartyId) -> None:
+        """Inner commits are the adversary's business, not the harness's."""
+
+
+class FilteredHonestBehavior(ByzantineBehavior):
+    """Runs the honest protocol, filtering every outgoing message.
+
+    ``party_factory`` builds the protocol instance (it receives the proxy
+    world and the corrupted id).  ``send_filter(recipient, payload, now)``
+    returns ``None`` to drop, or ``(payload, delay)`` — ``delay=None``
+    defers to the world's delay policy, any float (or ``INF``) overrides
+    it, which is legal because this party is Byzantine.
+    """
+
+    BRAIN = "only"
+
+    def __init__(
+        self,
+        world,
+        party_id: PartyId,
+        *,
+        party_factory: Callable[[Any, PartyId], Party],
+        send_filter: SendFilter,
+    ):
+        super().__init__(world, party_id)
+        self._send_filter = send_filter
+        self._brains: dict[Any, Party] = {}
+        inner_world = _InnerWorld(self, self.BRAIN)
+        self._brains[self.BRAIN] = party_factory(inner_world, party_id)
+
+    def start(self) -> None:
+        for brain in self._brains.values():
+            brain.start()
+
+    def deliver(self, sender: PartyId, payload: Any) -> None:
+        self._route(sender, payload)
+
+    def _route(self, sender: PartyId, payload: Any) -> None:
+        self._brains[self.BRAIN].deliver(sender, payload)
+
+    def _filtered_send(
+        self, brain_key: Any, recipient: PartyId, payload: Any
+    ) -> None:
+        decision = self._send_filter(recipient, payload, self.world.sim.now)
+        if decision is None:
+            return
+        new_payload, delay = decision
+        if delay == INF:
+            return
+        self.send_raw(recipient, new_payload, delay=delay)
+
+    def _self_deliver(self, brain_key: Any, payload: Any) -> None:
+        self.world.sim.schedule_after(
+            0.0,
+            lambda: self._brains[brain_key].deliver(self.id, payload),
+            label=f"byz self-deliver p{self.id}",
+        )
+
+
+def pass_all(recipient: PartyId, payload: Any, now: float):
+    """Send filter that changes nothing (honest-equivalent behavior)."""
+    return payload, None
+
+
+def silent_toward(group: frozenset[PartyId]) -> SendFilter:
+    """Filter realizing "sends no messages to parties in ``group``"."""
+
+    def decide(recipient: PartyId, payload: Any, now: float):
+        if recipient in group:
+            return None
+        return payload, None
+
+    return decide
+
+
+def fixed_delay_toward(
+    delays: dict[PartyId, float], *, default: float | None = None
+) -> SendFilter:
+    """Filter realizing "pretends its delay to party p is delays[p]"."""
+
+    def decide(recipient: PartyId, payload: Any, now: float):
+        return payload, delays.get(recipient, default)
+
+    return decide
+
+
+class SplitBrainBehavior(FilteredHonestBehavior):
+    """Equivocation via two honest protocol instances over a partition.
+
+    ``brain_factories`` maps a brain key to a party factory; ``membership``
+    maps each party id to the brain key whose messages it should see (and
+    whose inbox receives that party's messages).  Parties mapped to ``None``
+    receive nothing at all from this Byzantine party.
+    """
+
+    def __init__(
+        self,
+        world,
+        party_id: PartyId,
+        *,
+        brain_factories: dict[Any, Callable[[Any, PartyId], Party]],
+        membership: Callable[[PartyId], Any],
+        send_filter: SendFilter = pass_all,
+    ):
+        ByzantineBehavior.__init__(self, world, party_id)
+        self._send_filter = send_filter
+        self._membership = membership
+        self._brains = {}
+        for key, factory in brain_factories.items():
+            self._brains[key] = factory(_InnerWorld(self, key), party_id)
+
+    def start(self) -> None:
+        for brain in self._brains.values():
+            brain.start()
+
+    def _route(self, sender: PartyId, payload: Any) -> None:
+        key = self._membership(sender)
+        if key is None:
+            return
+        self._brains[key].deliver(sender, payload)
+
+    def _filtered_send(
+        self, brain_key: Any, recipient: PartyId, payload: Any
+    ) -> None:
+        if self._membership(recipient) != brain_key:
+            return
+        super()._filtered_send(brain_key, recipient, payload)

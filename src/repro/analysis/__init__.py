@@ -1,0 +1,28 @@
+"""Measurement, Table 1 regeneration, and figure sweeps."""
+from repro.analysis.latency import (
+    LatencyMeasurement,
+    measure_round_good_case,
+    measure_sync_good_case,
+)
+from repro.analysis.sweeps import (
+    SweepPoint,
+    sweep_async_rounds,
+    sweep_dishonest_majority,
+    sweep_fig9_tradeoff,
+    sweep_sync_regimes,
+)
+from repro.analysis.table1 import Table1Row, format_table, generate_table1
+
+__all__ = [
+    "LatencyMeasurement",
+    "SweepPoint",
+    "Table1Row",
+    "format_table",
+    "generate_table1",
+    "measure_round_good_case",
+    "measure_sync_good_case",
+    "sweep_async_rounds",
+    "sweep_dishonest_majority",
+    "sweep_fig9_tradeoff",
+    "sweep_sync_regimes",
+]

@@ -1,0 +1,184 @@
+"""Parameter sweeps behind the paper's figures.
+
+Each function returns plain data (lists of points) so benchmarks,
+examples and tests can assert on shapes without plotting dependencies.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.latency import (
+    measure_round_good_case,
+    measure_sync_good_case,
+)
+from repro.net.synchrony import SynchronyModel
+from repro.protocols.dolev_strong import DolevStrongBb
+from repro.protocols.sync.bb_2delta import Bb2Delta
+from repro.protocols.sync.bb_delta_15delta import BbDelta15Delta
+from repro.protocols.sync.bb_delta_2delta import BbDelta2Delta
+from repro.protocols.sync.bb_delta_delta_n3 import BbDeltaDeltaN3
+from repro.protocols.sync.bb_delta_delta_sync import BbDeltaDeltaSync
+from repro.protocols.sync.dishonest_majority import (
+    WanStyleBb,
+    trustcast_rounds,
+)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    x: float
+    latency: float
+    label: str
+
+
+def sweep_sync_regimes(
+    *,
+    deltas: list[float],
+    big_delta: float = 1.0,
+) -> dict[str, list[SweepPoint]]:
+    """Latency vs delta/Delta for every synchronous regime (Table 1 rows).
+
+    The series' separation *is* the paper's synchrony story: 2*delta,
+    Delta + delta, Delta + 1.5*delta, Delta + 2*delta, and the flat
+    (f+1)*2*Delta worst-case baseline.
+    """
+    series: dict[str, list[SweepPoint]] = {
+        "2delta (f<n/3)": [],
+        "Delta+delta (f=n/3)": [],
+        "Delta+delta (sync start)": [],
+        "Delta+1.5delta (unsync)": [],
+        "Delta+2delta (baseline)": [],
+        "DolevStrong (worst-case)": [],
+    }
+    for delta in deltas:
+        unsync = SynchronyModel(delta=delta, big_delta=big_delta, skew=delta)
+        sync = SynchronyModel(delta=delta, big_delta=big_delta, skew=0.0)
+        series["2delta (f<n/3)"].append(
+            SweepPoint(
+                delta,
+                measure_sync_good_case(
+                    Bb2Delta, n=7, f=2, model=unsync
+                ).time_latency,
+                "Fig 10",
+            )
+        )
+        series["Delta+delta (f=n/3)"].append(
+            SweepPoint(
+                delta,
+                measure_sync_good_case(
+                    BbDeltaDeltaN3, n=6, f=2, model=sync
+                ).time_latency,
+                "Fig 5",
+            )
+        )
+        series["Delta+delta (sync start)"].append(
+            SweepPoint(
+                delta,
+                measure_sync_good_case(
+                    BbDeltaDeltaSync, n=5, f=2, model=sync,
+                    skew_pattern="zero",
+                ).time_latency,
+                "Fig 6",
+            )
+        )
+        series["Delta+1.5delta (unsync)"].append(
+            SweepPoint(
+                delta,
+                measure_sync_good_case(
+                    BbDelta15Delta, n=5, f=2, model=unsync,
+                    d_grid=[delta, big_delta],
+                ).time_latency,
+                "Fig 9",
+            )
+        )
+        series["Delta+2delta (baseline)"].append(
+            SweepPoint(
+                delta,
+                measure_sync_good_case(
+                    BbDelta2Delta, n=5, f=2, model=unsync
+                ).time_latency,
+                "[4]",
+            )
+        )
+        series["DolevStrong (worst-case)"].append(
+            SweepPoint(
+                delta,
+                measure_sync_good_case(
+                    DolevStrongBb, n=5, f=2, model=sync, until=1000.0
+                ).time_latency,
+                "Dolev-Strong",
+            )
+        )
+    return series
+
+
+def sweep_fig9_tradeoff(
+    *,
+    grid_sizes: list[int],
+    delta: float = 0.3,
+    big_delta: float = 1.0,
+) -> list[SweepPoint]:
+    """The Figure 9 communication/latency tradeoff: m samples of d.
+
+    The paper: m uniform samples give ``(1 + 1/(2m)) * Delta + 1.5*delta``
+    with O(m n^2) messages.  Returns measured latency per m.
+    """
+    model = SynchronyModel(delta=delta, big_delta=big_delta, skew=0.0)
+    points = []
+    for m in grid_sizes:
+        meas = measure_sync_good_case(
+            BbDelta15Delta, n=5, f=2, model=model, grid_samples=m
+        )
+        points.append(SweepPoint(m, meas.time_latency, f"m={m}"))
+    return points
+
+
+def sweep_dishonest_majority(
+    *,
+    configs: list[tuple[int, int]],
+    big_delta: float = 1.0,
+) -> list[dict]:
+    """Good-case latency vs n/(n-f) for the f >= n/2 regime.
+
+    Returns one record per (n, f) with the measured latency, the paper's
+    lower bound, and the expected upper-bound shape.
+    """
+    model = SynchronyModel(delta=big_delta, big_delta=big_delta, skew=0.0)
+    records = []
+    for n, f in configs:
+        meas = measure_sync_good_case(
+            WanStyleBb, n=n, f=f, model=model, skew_pattern="zero"
+        )
+        records.append(
+            {
+                "n": n,
+                "f": f,
+                "ratio": n / (n - f),
+                "latency": meas.time_latency,
+                "lower_bound": (n // (n - f) - 1) * big_delta,
+                "upper_shape": (1 + trustcast_rounds(n, f)) * big_delta,
+            }
+        )
+    return records
+
+
+def sweep_async_rounds(*, configs: list[tuple[int, int]]) -> list[dict]:
+    """Round latency of the async/psync protocols across system sizes."""
+    from repro.protocols.brb_2round import Brb2Round
+    from repro.protocols.brb_bracha import BrachaBrb
+
+    records = []
+    for n, f in configs:
+        records.append(
+            {
+                "n": n,
+                "f": f,
+                "brb_2round": measure_round_good_case(
+                    Brb2Round, n=n, f=f
+                ).round_latency,
+                "bracha": measure_round_good_case(
+                    BrachaBrb, n=n, f=f
+                ).round_latency,
+            }
+        )
+    return records

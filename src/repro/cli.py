@@ -1,0 +1,157 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``table1`` — regenerate the paper's Table 1 on the simulator;
+* ``sweep`` — print the synchronous latency spectrum for a delta sweep;
+* ``witness <theorem>`` — run a lower-bound witness (thm04, thm07, thm08,
+  thm09, thm10, thm19, or ``all``);
+* ``smr`` — run the replicated key-value store demo;
+* ``ablation`` — run the equivocation-clause ablation.
+"""
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.analysis import format_table, generate_table1
+
+    rows = generate_table1(delta=args.delta, big_delta=args.big_delta)
+    print(format_table(rows))
+    return 0 if all(row.matches for row in rows) else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis import sweep_sync_regimes
+
+    deltas = [float(d) for d in args.deltas.split(",")]
+    series = sweep_sync_regimes(deltas=deltas, big_delta=args.big_delta)
+    names = list(series)
+    print(f"{'delta':>7} | " + " | ".join(f"{n:>24}" for n in names))
+    for index, delta in enumerate(deltas):
+        cells = " | ".join(
+            f"{series[name][index].latency:>24.4f}" for name in names
+        )
+        print(f"{delta:>7.3f} | {cells}")
+    return 0
+
+
+def _cmd_witness(args: argparse.Namespace) -> int:
+    from repro.lowerbounds import (
+        thm04_async_2round,
+        thm07_psync_3round,
+        thm08_sync_2delta,
+        thm09_sync_delta_delta,
+        thm10_sync_delta_15delta,
+        thm19_dishonest_majority,
+    )
+
+    modules = {
+        "thm04": thm04_async_2round,
+        "thm07": thm07_psync_3round,
+        "thm08": thm08_sync_2delta,
+        "thm09": thm09_sync_delta_delta,
+        "thm10": thm10_sync_delta_15delta,
+        "thm19": thm19_dishonest_majority,
+    }
+    selected = modules.values() if args.theorem == "all" else [
+        modules[args.theorem]
+    ]
+    ok = True
+    for module in selected:
+        report = module.run_witness()
+        print(report.summary())
+        print()
+        ok = ok and report.violation_found
+    return 0 if ok else 1
+
+
+def _cmd_smr(args: argparse.Namespace) -> int:
+    from repro.sim.delays import FixedDelay
+    from repro.sim.runner import World
+    from repro.smr import KeyValueStore, smr_factory
+
+    workload = [("set", f"key{i}", i * i) for i in range(args.slots)]
+    world = World(n=args.n, f=args.f, delay_policy=FixedDelay(args.delay))
+    world.populate(
+        smr_factory(
+            leader=0,
+            workload=workload,
+            state_machine_factory=KeyValueStore,
+            big_delta=args.big_delta,
+        )
+    )
+    world.run(until=10_000.0)
+    replica = world.honest_parties()[0]
+    for slot, command in enumerate(replica.committed_log):
+        print(f"slot {slot}: {command!r} @ t={replica.commit_times[slot]:.3f}")
+    snapshots = {r.state_machine.snapshot() for r in world.honest_parties()}
+    print(f"replicas agree: {len(snapshots) == 1}")
+    return 0 if len(snapshots) == 1 else 1
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    from repro.analysis.ablation import run_equivocation_clause_ablation
+
+    outcome = run_equivocation_clause_ablation()
+    print("full protocol   :", outcome["full"])
+    print("ablated protocol:", outcome["ablated"])
+    full_ok = set(outcome["full"].values()) == {"v"}
+    ablated_broken = len(set(outcome["ablated"].values())) > 1
+    print(
+        f"equivocation clause load-bearing: {full_ok and ablated_broken}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Good-case Latency of Byzantine Broadcast: "
+            "A Complete Categorization' (PODC 2021)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("table1", help="regenerate Table 1")
+    p.add_argument("--delta", type=float, default=0.25)
+    p.add_argument("--big-delta", dest="big_delta", type=float, default=1.0)
+    p.set_defaults(fn=_cmd_table1)
+
+    p = sub.add_parser("sweep", help="synchronous latency spectrum")
+    p.add_argument("--deltas", default="0.1,0.25,0.5,1.0")
+    p.add_argument("--big-delta", dest="big_delta", type=float, default=1.0)
+    p.set_defaults(fn=_cmd_sweep)
+
+    p = sub.add_parser("witness", help="run a lower-bound witness")
+    p.add_argument(
+        "theorem",
+        choices=["thm04", "thm07", "thm08", "thm09", "thm10", "thm19", "all"],
+    )
+    p.set_defaults(fn=_cmd_witness)
+
+    p = sub.add_parser("smr", help="replicated key-value store demo")
+    p.add_argument("--n", type=int, default=9)
+    p.add_argument("--f", type=int, default=2)
+    p.add_argument("--slots", type=int, default=5)
+    p.add_argument("--delay", type=float, default=0.1)
+    p.add_argument("--big-delta", dest="big_delta", type=float, default=1.0)
+    p.set_defaults(fn=_cmd_smr)
+
+    p = sub.add_parser("ablation", help="equivocation-clause ablation")
+    p.set_defaults(fn=_cmd_ablation)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,13 @@
+"""Idealized authentication primitives (signatures, PKI, digests)."""
+from repro.crypto.messages import canonical_encode, digest, short_digest
+from repro.crypto.signatures import KeyRegistry, Signature, SignedPayload, Signer
+
+__all__ = [
+    "KeyRegistry",
+    "Signature",
+    "SignedPayload",
+    "Signer",
+    "canonical_encode",
+    "digest",
+    "short_digest",
+]

@@ -1,0 +1,78 @@
+"""Canonical message encoding and digests.
+
+Protocol payloads are plain Python data (tuples, ints, strings, frozen
+dataclasses).  To sign or compare them we need a *canonical* byte encoding
+that is stable across processes and insensitive to dict ordering.  We use a
+small recursive encoder over the value types the protocols actually use,
+then SHA-256.  The paper assumes ideal hash/signature primitives, so the
+only property we need is injectivity over the message space, which the
+type-tagged encoding provides.
+"""
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+from repro.types import BOTTOM
+
+
+def canonical_encode(obj: Any) -> bytes:
+    """Encode ``obj`` into a canonical, type-tagged byte string.
+
+    Supported types: ``None``, ``BOTTOM``, ``bool``, ``int``, ``float``,
+    ``str``, ``bytes``, tuples/lists (encoded identically), frozensets
+    (sorted by element encoding), dicts (sorted by key encoding), and any
+    object exposing ``_canonical_fields()`` returning a tuple.
+    """
+    if obj is None:
+        return b"N"
+    if obj is BOTTOM:
+        return b"_"
+    if isinstance(obj, bool):
+        return b"b1" if obj else b"b0"
+    if isinstance(obj, int):
+        data = str(obj).encode()
+        return b"i" + _length_prefix(data) + data
+    if isinstance(obj, float):
+        data = repr(obj).encode()
+        return b"f" + _length_prefix(data) + data
+    if isinstance(obj, str):
+        data = obj.encode()
+        return b"s" + _length_prefix(data) + data
+    if isinstance(obj, bytes):
+        return b"y" + _length_prefix(obj) + obj
+    if isinstance(obj, (tuple, list)):
+        parts = [canonical_encode(item) for item in obj]
+        body = b"".join(parts)
+        return b"t" + _length_prefix(body) + body
+    if isinstance(obj, frozenset):
+        parts = sorted(canonical_encode(item) for item in obj)
+        body = b"".join(parts)
+        return b"S" + _length_prefix(body) + body
+    if isinstance(obj, dict):
+        parts = sorted(
+            canonical_encode(key) + canonical_encode(value)
+            for key, value in obj.items()
+        )
+        body = b"".join(parts)
+        return b"d" + _length_prefix(body) + body
+    fields = getattr(obj, "_canonical_fields", None)
+    if fields is not None:
+        tag = type(obj).__name__.encode()
+        body = canonical_encode(fields())
+        return b"o" + _length_prefix(tag) + tag + body
+    raise TypeError(f"cannot canonically encode {type(obj).__name__}: {obj!r}")
+
+
+def _length_prefix(data: bytes) -> bytes:
+    return str(len(data)).encode() + b":"
+
+
+def digest(obj: Any) -> bytes:
+    """SHA-256 digest of the canonical encoding of ``obj``."""
+    return hashlib.sha256(canonical_encode(obj)).digest()
+
+
+def short_digest(obj: Any) -> str:
+    """First 8 hex chars of :func:`digest`; for debugging and repr only."""
+    return digest(obj).hex()[:8]

@@ -1,0 +1,140 @@
+"""Ideal-unforgeability signatures and PKI.
+
+The paper works in the authenticated setting with perfect digital
+signatures: a signature by party ``i`` on message ``m`` can be produced
+only by ``i`` and verifies for everyone.  We realize the *ideal functional
+behaviour* rather than real cryptography: a :class:`KeyRegistry` records
+every ``(signer, digest)`` pair that was legitimately issued through a
+:class:`Signer` capability; verification is a membership check.  A
+fabricated :class:`Signature` object that never went through a ``Signer``
+fails verification, so forgery has probability exactly zero — matching the
+paper's assumption of ideal unforgeability.
+
+Byzantine behaviors receive the ``Signer`` objects of the corrupted
+parties, so they can sign *anything* with corrupted keys (equivocation,
+double votes) but can never produce honest parties' signatures.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.crypto.messages import digest, short_digest
+from repro.errors import ForgedSignatureError
+from repro.types import PartyId
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A signature by ``signer`` over the payload with the given digest."""
+
+    signer: PartyId
+    payload_digest: bytes
+
+    def __repr__(self) -> str:
+        return f"Sig(p{self.signer},{self.payload_digest.hex()[:8]})"
+
+    def _canonical_fields(self) -> tuple:
+        return (self.signer, self.payload_digest)
+
+
+@dataclass(frozen=True)
+class SignedPayload:
+    """A payload together with one signature over it.
+
+    The paper writes this as ``<m>_i``.  Multi-signed values (the paper's
+    ``<v, w>_{L_w, j}``: a leader-signed pair countersigned by ``j``) are
+    represented by nesting: the countersigned payload *is* a
+    ``SignedPayload`` and is signed again.
+    """
+
+    payload: Any
+    signature: Signature
+
+    @property
+    def signer(self) -> PartyId:
+        return self.signature.signer
+
+    def __repr__(self) -> str:
+        return f"<{self.payload!r}>_{self.signer}"
+
+    def _canonical_fields(self) -> tuple:
+        return (self.payload, self.signature)
+
+
+class Signer:
+    """The signing capability of one party.
+
+    Handed to the party's runtime (honest) or to the adversary behavior
+    controlling the party (Byzantine).  There is exactly one ``Signer`` per
+    party per registry.
+    """
+
+    def __init__(self, registry: "KeyRegistry", party: PartyId):
+        self._registry = registry
+        self._party = party
+
+    @property
+    def party(self) -> PartyId:
+        return self._party
+
+    def sign(self, payload: Any) -> SignedPayload:
+        """Sign ``payload``, registering the signature as issued."""
+        payload_digest = digest(payload)
+        self._registry._record(self._party, payload_digest)
+        return SignedPayload(payload, Signature(self._party, payload_digest))
+
+    def __repr__(self) -> str:
+        return f"Signer(p{self._party})"
+
+
+class KeyRegistry:
+    """The PKI: issues signer capabilities and verifies signatures.
+
+    One registry per simulated world.  ``verify`` is the public-key
+    operation every party can perform; ``signer_for`` must be called
+    exactly once per party by the world builder.
+    """
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise ValueError(f"registry needs n >= 1 parties, got {n}")
+        self._n = n
+        self._issued: set[tuple[PartyId, bytes]] = set()
+        self._handed_out: set[PartyId] = set()
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def signer_for(self, party: PartyId) -> Signer:
+        """Issue the unique signing capability for ``party``."""
+        if not 0 <= party < self._n:
+            raise ValueError(f"party {party} out of range 0..{self._n - 1}")
+        if party in self._handed_out:
+            raise ValueError(f"signer for party {party} already issued")
+        self._handed_out.add(party)
+        return Signer(self, party)
+
+    def _record(self, party: PartyId, payload_digest: bytes) -> None:
+        self._issued.add((party, payload_digest))
+
+    def verify(self, signed: SignedPayload) -> bool:
+        """Check that ``signed`` carries a legitimately issued signature."""
+        sig = signed.signature
+        if sig.payload_digest != digest(signed.payload):
+            return False
+        return (sig.signer, sig.payload_digest) in self._issued
+
+    def require_valid(self, signed: SignedPayload) -> SignedPayload:
+        """Like :meth:`verify` but raising on failure; returns its input."""
+        if not self.verify(signed):
+            raise ForgedSignatureError(
+                f"signature {signed.signature!r} over payload "
+                f"{short_digest(signed.payload)} was never issued"
+            )
+        return signed
+
+    def verify_all(self, items: Iterable[SignedPayload]) -> bool:
+        """Verify every signed payload in ``items``."""
+        return all(self.verify(item) for item in items)

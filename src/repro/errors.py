@@ -1,0 +1,43 @@
+"""Exception hierarchy for the reproduction library."""
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ConfigurationError(ReproError):
+    """A protocol or simulation was configured with invalid parameters."""
+
+
+class ForgedSignatureError(ReproError):
+    """A signature failed verification against the key registry.
+
+    In the ideal-unforgeability model this can only happen when code
+    fabricates a :class:`~repro.crypto.signatures.Signature` object without
+    going through the signer capability — i.e. an attempted forgery.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent internal state."""
+
+
+class AgreementViolation(ReproError):
+    """Two honest parties committed different values.
+
+    Raised (or collected) by the harness when checking the agreement
+    property.  Lower-bound witnesses *expect* this for strawman protocols.
+    """
+
+    def __init__(self, details: str):
+        super().__init__(details)
+        self.details = details
+
+
+class ValidityViolation(ReproError):
+    """An honest broadcaster's value was not the committed value."""
+
+
+class TerminationViolation(ReproError):
+    """A protocol failed to terminate within the simulation horizon."""

@@ -1,0 +1,16 @@
+"""Executable witnesses for the paper's lower bounds."""
+from repro.lowerbounds.framework import (
+    Disagreement,
+    IndistinguishabilityCheck,
+    WitnessReport,
+    check_indistinguishable,
+    find_disagreement,
+)
+
+__all__ = [
+    "Disagreement",
+    "IndistinguishabilityCheck",
+    "WitnessReport",
+    "check_indistinguishable",
+    "find_disagreement",
+]

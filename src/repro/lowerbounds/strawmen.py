@@ -1,0 +1,191 @@
+"""Strawman protocols: deliberately faster than the tight bounds allow.
+
+Each class commits earlier than the corresponding lower bound permits.
+They are *sound-looking* protocols (they only cut the one corner the
+theorem says cannot be cut), and the witness executions break exactly
+them.  None of them is exported as part of the supported library surface.
+"""
+from __future__ import annotations
+
+from typing import Any
+
+from repro.crypto.signatures import SignedPayload
+from repro.protocols.base import BroadcastParty
+from repro.types import BOTTOM, PartyId, Value
+
+PROPOSE = "propose"
+RELAY = "relay"
+
+
+class OneRoundBrb(BroadcastParty):
+    """Commits on the proposal alone: good-case 1 round.
+
+    Theorem 4 (asynchrony) and Theorem 6 (partial synchrony) say 2 rounds
+    are necessary; this protocol's broadcaster-equivocation executions
+    violate agreement.
+    """
+
+    def on_start(self) -> None:
+        if self.is_broadcaster:
+            self.multicast(self.signer.sign((PROPOSE, self.input_value)))
+
+    def on_message(self, sender: PartyId, payload: Any) -> None:
+        if not isinstance(payload, SignedPayload) or not self.verify(payload):
+            return
+        body = payload.payload
+        if (
+            isinstance(body, tuple)
+            and len(body) == 2
+            and body[0] == PROPOSE
+            and payload.signer == self.broadcaster
+            and not self.has_committed
+        ):
+            self.commit(body[1])
+            self.terminate()
+
+
+class FastCommitSyncBb(BroadcastParty):
+    """Synchronous strawman: commit the first proposal at a deadline.
+
+    With ``commit_at < 2 * delta`` this beats Theorem 8's bound (there is
+    no time to cross-check the proposal with anyone), and the equivocation
+    execution splits it.
+    """
+
+    def __init__(
+        self,
+        world,
+        party_id: PartyId,
+        *,
+        broadcaster: PartyId,
+        input_value: Value | None = None,
+        commit_at: float = 1.0,
+    ):
+        super().__init__(
+            world, party_id, broadcaster=broadcaster, input_value=input_value
+        )
+        self.commit_at = commit_at
+        self.seen: list[Value] = []
+
+    def on_start(self) -> None:
+        if self.is_broadcaster:
+            self.multicast(self.signer.sign((PROPOSE, self.input_value)))
+        self.at_local_time(self.commit_at, self._decide)
+
+    def on_message(self, sender: PartyId, payload: Any) -> None:
+        if not isinstance(payload, SignedPayload) or not self.verify(payload):
+            return
+        body = payload.payload
+        if (
+            isinstance(body, tuple)
+            and len(body) == 2
+            and body[0] == PROPOSE
+            and payload.signer == self.broadcaster
+        ):
+            if body[1] not in self.seen:
+                self.seen.append(body[1])
+
+    def _decide(self) -> None:
+        if len(self.seen) == 1:
+            self.commit(self.seen[0])
+        else:
+            self.commit(BOTTOM)
+        self.terminate()
+
+
+class NeighborRelayBb(BroadcastParty):
+    """Chain strawman for the dishonest-majority bound (Theorem 19).
+
+    Relays the first proposal it sees, and at local time ``commit_at``
+    commits the unique value observed (BOTTOM for none or several).  With
+    ``commit_at < (floor(n/(n-f)) - 1) * Delta`` the chain executions of
+    Figure 12 make adjacent honest groups commit different values.
+    """
+
+    def __init__(
+        self,
+        world,
+        party_id: PartyId,
+        *,
+        broadcaster: PartyId,
+        input_value: Value | None = None,
+        commit_at: float = 1.0,
+    ):
+        super().__init__(
+            world, party_id, broadcaster=broadcaster, input_value=input_value
+        )
+        self.commit_at = commit_at
+        self.seen: list[Value] = []
+        self._relayed: set[Value] = set()
+
+    def on_start(self) -> None:
+        if self.is_broadcaster:
+            self.multicast(self.signer.sign((PROPOSE, self.input_value)))
+            # The initial multicast is the broadcast *and* the relay.
+            self.seen.append(self.input_value)
+            self._relayed.add(self.input_value)
+        self.at_local_time(self.commit_at, self._decide)
+
+    def on_message(self, sender: PartyId, payload: Any) -> None:
+        if not isinstance(payload, SignedPayload) or not self.verify(payload):
+            return
+        body = payload.payload
+        if not (
+            isinstance(body, tuple)
+            and len(body) == 2
+            and body[0] == PROPOSE
+            and payload.signer == self.broadcaster
+        ):
+            return
+        value = body[1]
+        if value not in self.seen:
+            self.seen.append(value)
+        if value not in self._relayed:
+            self._relayed.add(value)
+            self.multicast(payload, include_self=False)
+
+    def _decide(self) -> None:
+        if len(self.seen) == 1:
+            self.commit(self.seen[0])
+        else:
+            self.commit(BOTTOM)
+        self.terminate()
+
+
+class NoForwardQuorumBb(BroadcastParty):
+    """Vote-and-commit-on-quorum without any safety machinery.
+
+    Used by the Theorem 9 witness: at ``f = n/3`` the quorum intersection
+    of two ``n - f`` vote sets is only ``n - 2f = f`` parties, all of whom
+    may be Byzantine double-voters, so committing on a quorum at ``2*delta``
+    (before the ``Delta + delta`` bound) is unsafe.
+    """
+
+    VOTE = "vote"
+
+    def __init__(self, world, party_id, **kwargs):
+        super().__init__(world, party_id, **kwargs)
+        self.quorum = self.n - self.f
+        self._voted = False
+        self._votes: dict[Value, set[PartyId]] = {}
+
+    def on_start(self) -> None:
+        if self.is_broadcaster:
+            self.multicast(self.signer.sign((PROPOSE, self.input_value)))
+
+    def on_message(self, sender: PartyId, payload: Any) -> None:
+        if not isinstance(payload, SignedPayload) or not self.verify(payload):
+            return
+        body = payload.payload
+        if not isinstance(body, tuple) or len(body) != 2:
+            return
+        if body[0] == PROPOSE and payload.signer == self.broadcaster:
+            if not self._voted:
+                self._voted = True
+                self.multicast(self.signer.sign((self.VOTE, body[1])))
+        elif body[0] == self.VOTE:
+            voters = self._votes.setdefault(body[1], set())
+            voters.add(payload.signer)
+            if len(voters) >= self.quorum and not self.has_committed:
+                self.commit(body[1])
+                self.terminate()

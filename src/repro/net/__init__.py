@@ -1,0 +1,6 @@
+"""Timing models: synchrony, partial synchrony, asynchrony."""
+from repro.net.asynchrony import AsynchronyModel
+from repro.net.partial_synchrony import PartialSynchronyModel
+from repro.net.synchrony import SynchronyModel
+
+__all__ = ["AsynchronyModel", "PartialSynchronyModel", "SynchronyModel"]

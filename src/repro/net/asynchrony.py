@@ -1,0 +1,49 @@
+"""The asynchronous timing model.
+
+Delays are arbitrary finite values chosen by the adversary; there is no
+clock and latency is measured in Canetti-Rabin asynchronous rounds
+(Definitions 9-10 of the paper), which the party runtime tracks via
+message round tags.  The model here only supplies delay policies; the
+round accounting lives in :mod:`repro.sim.process`.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.sim.delays import DelayPolicy, FixedDelay, UniformDelay
+
+
+@dataclass(frozen=True)
+class AsynchronyModel:
+    """Parameters of one asynchronous execution.
+
+    ``mean_delay`` only scales virtual time; round-latency results are
+    invariant to it.  ``spread`` controls how heterogeneous the adversary
+    makes individual delays in the random policy.
+    """
+
+    mean_delay: float = 1.0
+    spread: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mean_delay <= 0:
+            raise ConfigurationError(
+                f"mean_delay must be > 0, got {self.mean_delay}"
+            )
+        if not 0 <= self.spread <= 1:
+            raise ConfigurationError(
+                f"spread must be in [0, 1], got {self.spread}"
+            )
+
+    def policy(self) -> DelayPolicy:
+        """Uniform-delay policy (all messages take ``mean_delay``)."""
+        return FixedDelay(self.mean_delay)
+
+    def random_policy(self, *, seed: int) -> DelayPolicy:
+        """Seeded heterogeneous delays around the mean."""
+        if self.spread == 0:
+            return FixedDelay(self.mean_delay)
+        low = self.mean_delay * (1 - self.spread)
+        high = self.mean_delay * (1 + self.spread)
+        return UniformDelay(low, high, seed=seed)

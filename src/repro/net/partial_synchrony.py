@@ -1,0 +1,64 @@
+"""The partially synchronous timing model (Dwork-Lynch-Stockmeyer).
+
+Message delays are adversarial (arbitrary, finite) until the Global Stable
+Time (GST), after which every message — including those in flight —
+arrives within ``Delta``.  The paper measures the good case with
+``GST = 0`` and an honest leader, in Canetti-Rabin rounds.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.sim.delays import DelayPolicy, FixedDelay, GstDelay, UniformDelay
+
+
+@dataclass(frozen=True)
+class PartialSynchronyModel:
+    """Parameters of one partially synchronous execution."""
+
+    big_delta: float
+    gst: float = 0.0
+    #: actual delay of honest messages after GST (the "rounds" the good case
+    #: is measured in); defaults to big_delta (the slowest allowed).
+    post_gst_delay: float = field(default=-1.0)
+
+    def __post_init__(self) -> None:
+        if self.big_delta <= 0:
+            raise ConfigurationError(
+                f"Delta must be > 0, got {self.big_delta}"
+            )
+        if self.gst < 0:
+            raise ConfigurationError(f"GST must be >= 0, got {self.gst}")
+        if self.post_gst_delay == -1.0:
+            object.__setattr__(self, "post_gst_delay", self.big_delta)
+        if not 0 < self.post_gst_delay <= self.big_delta:
+            raise ConfigurationError(
+                "need 0 < post_gst_delay <= Delta, got "
+                f"{self.post_gst_delay} vs {self.big_delta}"
+            )
+
+    def policy(self, *, pre_gst: DelayPolicy | None = None) -> DelayPolicy:
+        """Delay policy realizing this model.
+
+        ``pre_gst`` chooses the adversarial pre-GST delays (default: make
+        everything as slow as the GST cap allows, via an effectively
+        infinite request clipped at ``max(send, GST) + Delta``).
+        """
+        if pre_gst is None:
+            pre_gst = FixedDelay(self.post_gst_delay)
+        return GstDelay(
+            gst=self.gst, big_delta=self.big_delta, pre_gst=pre_gst
+        )
+
+    def stable_policy(self) -> DelayPolicy:
+        """Policy for a ``GST = 0`` execution (the good case)."""
+        return FixedDelay(self.post_gst_delay)
+
+    def random_policy(self, *, seed: int) -> DelayPolicy:
+        """GST-capped random delays for adversarial-period exploration."""
+        return GstDelay(
+            gst=self.gst,
+            big_delta=self.big_delta,
+            pre_gst=UniformDelay(0.0, 3 * self.big_delta, seed=seed),
+        )

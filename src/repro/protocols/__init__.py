@@ -1,0 +1,17 @@
+"""Broadcast protocol implementations (upper bounds + baselines)."""
+from repro.protocols.ba import DolevStrongBa, DolevStrongInstance
+from repro.protocols.base import BroadcastParty
+from repro.protocols.brb_2round import Brb2Round
+from repro.protocols.brb_bracha import BrachaBrb
+from repro.protocols.dolev_strong import DolevStrongBb
+from repro.protocols.phase_king import PhaseKingBa
+
+__all__ = [
+    "BrachaBrb",
+    "Brb2Round",
+    "BroadcastParty",
+    "DolevStrongBa",
+    "DolevStrongInstance",
+    "DolevStrongBb",
+    "PhaseKingBa",
+]

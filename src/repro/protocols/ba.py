@@ -1,0 +1,207 @@
+"""Byzantine agreement primitive for the synchronous BB protocols.
+
+The paper's synchronous protocols (Figures 5, 6, 9, 10) all end with "at
+local time T, invoke an instance of Byzantine agreement with ``lock`` as
+the input" and need the BA to (a) tolerate a clock skew of up to ``sigma``
+and (b) provide validity (all honest inputs equal ``v`` implies output
+``v``) and agreement.  The paper prescribes the construction: "any
+synchronous lock-step BA can do so by ... setting each round duration to
+be ``2 * Delta`` to enforce the abstraction of lock-step rounds."
+
+We implement the classical authenticated construction: every party
+Dolev-Strong-broadcasts its input (``f + 1`` lock-step rounds, signature
+chains growing by one per round), all ``n`` instances running in parallel;
+afterwards each party holds the *same* extracted set per instance, outputs
+each instance's singleton value (or BOTTOM), and decides the majority.
+With ``f < n/2`` honest parties are a majority, giving validity; identical
+extracted sets give agreement.  Tolerates any ``f < n/2`` with signatures.
+
+:class:`DolevStrongInstance` is also used standalone by the Dolev-Strong
+BB baseline (worst-case ``f + 1`` rounds — the latency the paper contrasts
+good-case latency against).
+"""
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.crypto.signatures import SignedPayload
+from repro.types import BOTTOM, PartyId, Value
+
+DS_MSG = "ds-relay"
+DS_VAL = "ds-val"
+
+
+class DolevStrongInstance:
+    """One Dolev-Strong broadcast instance embedded in a host party.
+
+    The host drives the lock-step schedule (shared across instances); this
+    class only tracks chains, extraction and relaying for one sender.
+
+    A signature chain is a nested :class:`SignedPayload` whose innermost
+    payload is ``(DS_VAL, tag, sender, value)`` signed by ``sender``, each
+    outer layer adding one relayer signature.
+    """
+
+    def __init__(self, host, *, tag: Any, ds_sender: PartyId):
+        self.host = host  # a Party: provides n, f, signer, verify, multicast
+        self.tag = tag
+        self.ds_sender = ds_sender
+        self.extracted: set[Value] = set()
+        self._pending: list[tuple[int, SignedPayload]] = []  # (arrival_round, chain)
+        self._relayed: int = 0  # relay at most 2 values (equivocation proof)
+
+    # -- sending ---------------------------------------------------------
+
+    def initial_chain(self, value: Value) -> SignedPayload:
+        assert self.host.id == self.ds_sender
+        return self.host.signer.sign((DS_VAL, self.tag, self.ds_sender, value))
+
+    def broadcast_value(self, value: Value) -> None:
+        self.host.multicast((DS_MSG, self.tag, self.initial_chain(value)))
+        self.extracted.add(value)
+
+    # -- receiving -------------------------------------------------------
+
+    def receive_chain(self, chain: SignedPayload, arrival_round: int) -> None:
+        """Buffer a chain stamped with the lock-step round of its arrival."""
+        self._pending.append((arrival_round, chain))
+
+    def unwrap(self, chain: SignedPayload) -> tuple[list[PartyId], Value] | None:
+        """Validate a chain; return (distinct signers outermost-first, value)."""
+        signers: list[PartyId] = []
+        node = chain
+        while isinstance(node, SignedPayload):
+            if not self.host.verify(node):
+                return None
+            signers.append(node.signer)
+            node = node.payload
+        if not (
+            isinstance(node, tuple)
+            and len(node) == 4
+            and node[0] == DS_VAL
+            and node[1] == self.tag
+            and node[2] == self.ds_sender
+        ):
+            return None
+        if signers[-1] != self.ds_sender:  # innermost must be the sender
+            return None
+        if len(set(signers)) != len(signers):
+            return None
+        return signers, node[3]
+
+    def process_boundary(self, boundary_round: int, last_round: int) -> None:
+        """Lock-step boundary ``boundary_round``: accept + relay chains.
+
+        Accepts chains whose signature count is at least their (stamped)
+        arrival round; relays newly extracted values (at most two per
+        instance — two suffice as an equivocation proof) by appending our
+        signature, unless the last round has been reached.
+        """
+        pending, self._pending = self._pending, []
+        for arrival_round, chain in pending:
+            parsed = self.unwrap(chain)
+            if parsed is None:
+                continue
+            signers, value = parsed
+            if len(signers) < max(arrival_round, 1):
+                continue
+            if value in self.extracted:
+                continue
+            self.extracted.add(value)
+            if self._relayed < 2 and boundary_round <= last_round - 1:
+                self._relayed += 1
+                if self.host.id not in signers:
+                    relayed = self.host.signer.sign(chain)
+                else:
+                    relayed = chain
+                self.host.multicast((DS_MSG, self.tag, relayed))
+
+    def output(self) -> Value:
+        """Singleton extracted value, else BOTTOM."""
+        if len(self.extracted) == 1:
+            return next(iter(self.extracted))
+        return BOTTOM
+
+
+class DolevStrongBa:
+    """Byzantine agreement: ``n`` parallel Dolev-Strong broadcasts + majority.
+
+    Embed in a host party; call :meth:`start` at the BA invocation time
+    (the host's local clock), route ``(DS_MSG, (ba_tag, i), chain)`` host
+    messages to :meth:`handle`.  ``on_decide`` fires once, at local time
+    ``start + (f + 1) * round_duration``.
+    """
+
+    def __init__(
+        self,
+        host,
+        *,
+        tag: Any,
+        big_delta: float,
+        on_decide: Callable[[Value], None],
+        default: Value = BOTTOM,
+    ):
+        self.host = host
+        self.tag = tag
+        self.round_duration = 2 * big_delta
+        self.on_decide = on_decide
+        self.default = default
+        self.last_round = host.f + 1
+        self.instances = {
+            pid: DolevStrongInstance(host, tag=(tag, pid), ds_sender=pid)
+            for pid in range(host.n)
+        }
+        self._boundaries_fired = 0
+        self._started = False
+        self._decided = False
+
+    def start(self, input_value: Value) -> None:
+        """Begin the BA at the host's current local time."""
+        self._started = True
+        self._start_local = self.host.local_time()
+        self.instances[self.host.id].broadcast_value(input_value)
+        for round_number in range(1, self.last_round + 1):
+            self.host.at_local_time(
+                self._start_local + round_number * self.round_duration,
+                lambda r=round_number: self._boundary(r),
+            )
+
+    def handle(self, sender: PartyId, payload: Any) -> bool:
+        """Route a host message; returns True when it belonged to this BA."""
+        if not (
+            isinstance(payload, tuple)
+            and len(payload) == 3
+            and payload[0] == DS_MSG
+        ):
+            return False
+        _, tag, chain = payload
+        if not (isinstance(tag, tuple) and len(tag) == 2 and tag[0] == self.tag):
+            return False
+        instance = self.instances.get(tag[1])
+        if instance is None:
+            return True
+        instance.receive_chain(chain, self._boundaries_fired + 1)
+        return True
+
+    def _boundary(self, round_number: int) -> None:
+        self._boundaries_fired = round_number
+        for instance in self.instances.values():
+            instance.process_boundary(round_number, self.last_round)
+        if round_number == self.last_round and not self._decided:
+            self._decided = True
+            self.on_decide(self._resolve())
+
+    def _resolve(self) -> Value:
+        outputs = [
+            self.instances[pid].output() for pid in range(self.host.n)
+        ]
+        counts: dict[Value, int] = {}
+        for value in outputs:
+            if value is not BOTTOM:
+                counts[value] = counts.get(value, 0) + 1
+        for value, count in sorted(
+            counts.items(), key=lambda item: repr(item[0])
+        ):
+            if count > self.host.n / 2:
+                return value
+        return self.default

@@ -1,0 +1,86 @@
+"""Shared conventions for broadcast protocol implementations.
+
+Every protocol is a :class:`~repro.sim.process.Party` subclass whose
+constructor takes the designated ``broadcaster`` id and, for the
+broadcaster itself, an ``input_value``.  :meth:`BroadcastParty.factory`
+builds the ``(world, pid) -> Party`` callable the harness consumes, and
+doubles as the ``make_broadcaster`` hook for adversarial split-brain
+broadcasters.
+"""
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import ConfigurationError
+from repro.sim.process import Party
+from repro.types import PartyId, Value
+
+
+class BroadcastParty(Party):
+    """Base class for parties of a broadcast protocol instance."""
+
+    def __init__(
+        self,
+        world,
+        party_id: PartyId,
+        *,
+        broadcaster: PartyId,
+        input_value: Value | None = None,
+    ):
+        super().__init__(world, party_id)
+        if not 0 <= broadcaster < self.n:
+            raise ConfigurationError(
+                f"broadcaster {broadcaster} out of range for n={self.n}"
+            )
+        self.broadcaster = broadcaster
+        self.input_value = input_value
+        if party_id == broadcaster and input_value is None:
+            raise ConfigurationError(
+                f"broadcaster {broadcaster} needs an input value"
+            )
+
+    @property
+    def is_broadcaster(self) -> bool:
+        return self.id == self.broadcaster
+
+    @classmethod
+    def factory(
+        cls,
+        *,
+        broadcaster: PartyId,
+        input_value: Value,
+        **protocol_kwargs: Any,
+    ) -> Callable[[Any, PartyId], "BroadcastParty"]:
+        """Party factory: only the broadcaster receives the input value."""
+
+        def build(world, pid: PartyId) -> "BroadcastParty":
+            value = input_value if pid == broadcaster else None
+            return cls(
+                world,
+                pid,
+                broadcaster=broadcaster,
+                input_value=value,
+                **protocol_kwargs,
+            )
+
+        return build
+
+    @classmethod
+    def broadcaster_factory(
+        cls, *, broadcaster: PartyId, **protocol_kwargs: Any
+    ) -> Callable[[Any, PartyId, Value], "BroadcastParty"]:
+        """Hook for adversarial equivocation: honest broadcaster per value.
+
+        Matches :data:`repro.adversary.broadcaster.BroadcasterFactory`.
+        """
+
+        def build(world, pid: PartyId, value: Value) -> "BroadcastParty":
+            return cls(
+                world,
+                pid,
+                broadcaster=broadcaster,
+                input_value=value,
+                **protocol_kwargs,
+            )
+
+        return build

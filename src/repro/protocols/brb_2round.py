@@ -1,0 +1,89 @@
+"""2-round-BRB (paper Figure 1): asynchronous BRB with ``n >= 3f+1``.
+
+    (1) Propose.  The designated broadcaster L with input v sends
+        <propose, v> to all parties.
+    (2) Vote.  When receiving the first proposal <propose, v> from the
+        broadcaster, send a vote for v to all parties as <vote, v>_i.
+    (3) Commit.  When receiving n - f signed vote messages for v, forward
+        these vote messages to all other parties, commit v and terminate.
+
+Good-case latency: 2 asynchronous rounds (optimal, Theorems 4-5).  The
+quorum-intersection argument gives agreement; forwarding the vote quorum
+gives BRB termination.
+"""
+from __future__ import annotations
+
+from typing import Any
+
+from repro.crypto.signatures import SignedPayload
+from repro.protocols.base import BroadcastParty
+from repro.types import PartyId, Value, validate_resilience
+
+PROPOSE = "propose"
+VOTE = "vote"
+VOTE_QUORUM = "vote-quorum"
+
+
+class Brb2Round(BroadcastParty):
+    """One party of the 2-round-BRB protocol."""
+
+    def __init__(self, world, party_id: PartyId, **kwargs: Any):
+        super().__init__(world, party_id, **kwargs)
+        validate_resilience(self.n, self.f, requirement="3f+1")
+        self._voted = False
+        self._votes: dict[Value, dict[PartyId, SignedPayload]] = {}
+
+    # ------------------------------------------------------------------ #
+    # message construction (classmethods so adversaries can reuse them)
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def make_proposal(value: Value) -> tuple:
+        return (PROPOSE, value)
+
+    @staticmethod
+    def make_vote(signer, value: Value) -> tuple:
+        return (VOTE, signer.sign((VOTE, value)))
+
+    # ------------------------------------------------------------------ #
+    # protocol steps
+    # ------------------------------------------------------------------ #
+
+    def on_start(self) -> None:
+        if self.is_broadcaster:
+            # Step 1: Propose.
+            self.multicast(self.make_proposal(self.input_value))
+
+    def on_message(self, sender: PartyId, payload: Any) -> None:
+        kind = payload[0]
+        if kind == PROPOSE and sender == self.broadcaster:
+            self._on_proposal(payload[1])
+        elif kind == VOTE:
+            self._on_vote(payload[1])
+        elif kind == VOTE_QUORUM:
+            for vote in payload[1]:
+                self._on_vote(vote)
+
+    def _on_proposal(self, value: Value) -> None:
+        # Step 2: Vote for the first proposal only.
+        if self._voted:
+            return
+        self._voted = True
+        self.multicast(self.make_vote(self.signer, value))
+
+    def _on_vote(self, signed_vote: SignedPayload) -> None:
+        if not self.verify(signed_vote):
+            return
+        tag, value = signed_vote.payload
+        if tag != VOTE:
+            return
+        bucket = self._votes.setdefault(value, {})
+        bucket[signed_vote.signer] = signed_vote
+        # Step 3: Commit on a quorum of n - f votes for the same value.
+        if len(bucket) >= self.n - self.f and not self.has_committed:
+            quorum = tuple(
+                sorted(bucket.values(), key=lambda v: v.signer)
+            )
+            self.multicast((VOTE_QUORUM, quorum), include_self=False)
+            self.commit(value)
+            self.terminate()

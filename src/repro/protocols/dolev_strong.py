@@ -1,0 +1,68 @@
+"""Dolev-Strong Byzantine broadcast: the classic worst-case baseline.
+
+Authenticated BB for any ``f < n`` in ``f + 1`` lock-step rounds.  Its
+latency is ``(f + 1) * 2 * Delta`` in *every* execution — including the
+good case — which is exactly the gap between worst-case-optimal protocols
+and the good-case-optimal protocols this paper constructs.  We include it
+as the baseline the synchronous benchmarks compare against.
+"""
+from __future__ import annotations
+
+from typing import Any
+
+from repro.protocols.ba import DolevStrongInstance, DS_MSG
+from repro.protocols.base import BroadcastParty
+from repro.types import BOTTOM, PartyId, Value, validate_resilience
+
+
+class DolevStrongBb(BroadcastParty):
+    """One party of the Dolev-Strong broadcast protocol."""
+
+    def __init__(
+        self,
+        world,
+        party_id: PartyId,
+        *,
+        broadcaster: PartyId,
+        input_value: Value | None = None,
+        big_delta: float = 1.0,
+        default_value: Value = BOTTOM,
+    ):
+        super().__init__(
+            world, party_id, broadcaster=broadcaster, input_value=input_value
+        )
+        validate_resilience(self.n, self.f, requirement="f<n")
+        self.big_delta = big_delta
+        self.round_duration = 2 * big_delta
+        self.default_value = default_value
+        self.last_round = self.f + 1
+        self.instance = DolevStrongInstance(
+            self, tag=("ds-bb", broadcaster), ds_sender=broadcaster
+        )
+        self._boundaries_fired = 0
+
+    def on_start(self) -> None:
+        if self.is_broadcaster:
+            self.instance.broadcast_value(self.input_value)
+        for round_number in range(1, self.last_round + 1):
+            self.at_local_time(
+                round_number * self.round_duration,
+                lambda r=round_number: self._boundary(r),
+            )
+
+    def on_message(self, sender: PartyId, payload: Any) -> None:
+        if (
+            isinstance(payload, tuple)
+            and len(payload) == 3
+            and payload[0] == DS_MSG
+            and payload[1] == self.instance.tag
+        ):
+            self.instance.receive_chain(payload[2], self._boundaries_fired + 1)
+
+    def _boundary(self, round_number: int) -> None:
+        self._boundaries_fired = round_number
+        self.instance.process_boundary(round_number, self.last_round)
+        if round_number == self.last_round:
+            value = self.instance.output()
+            self.commit(value if value is not BOTTOM else self.default_value)
+            self.terminate()

@@ -1,0 +1,138 @@
+"""Phase-king Byzantine agreement (Berman-Garay-Perry): unauthenticated.
+
+The paper's Section 7 turns to the unauthenticated setting, where
+synchronous BB is solvable iff ``f < n/3``.  Constructions there cannot
+use signatures, so the authenticated BA primitive of
+:mod:`repro.protocols.ba` is off limits; the classical substitute is the
+phase-king algorithm, which solves BA for ``n > 3f`` with plain messages
+in ``f + 1`` phases of three lock-step rounds each.
+
+Per phase ``k`` (party ``k`` is the king):
+
+1. everyone broadcasts its current value ``v``; set ``z`` to the majority
+   value received and remember its count;
+2. everyone broadcasts ``z``; set ``y`` to the majority and ``d`` to its
+   count;
+3. the king broadcasts its ``y``; a party keeps ``y`` if ``d >= n - f``
+   (it is *sure*), else adopts the king's value.
+
+With all-honest-equal inputs the count stays at least ``n - f`` forever
+(validity); the first phase with an honest king aligns everyone and the
+threshold keeps them aligned afterwards (agreement).  Round duration is
+``2 * Delta`` to tolerate the clock skew, like the authenticated BA.
+"""
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.types import BOTTOM, PartyId, Value
+
+PK_MSG = "pk"
+
+
+class PhaseKingBa:
+    """Phase-king BA embedded in a host party (no signatures used)."""
+
+    def __init__(
+        self,
+        host,
+        *,
+        tag: Any,
+        big_delta: float,
+        on_decide: Callable[[Value], None],
+        default: Value = BOTTOM,
+    ):
+        self.host = host
+        self.tag = tag
+        self.round_duration = 2 * big_delta
+        self.on_decide = on_decide
+        self.default = default
+        self.phases = host.f + 1
+        self.total_rounds = 3 * self.phases
+        self.value: Value = default
+        self._started = False
+        self._decided = False
+        self._round = 0
+        # (phase, step) -> sender -> value
+        self._inbox: dict[tuple[int, int], dict[PartyId, Value]] = {}
+        self._sure_count = 0
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def start(self, input_value: Value) -> None:
+        self._started = True
+        self.value = input_value
+        self._start_local = self.host.local_time()
+        self._send(0, 1, self.value)
+        for round_number in range(1, self.total_rounds + 1):
+            self.host.at_local_time(
+                self._start_local + round_number * self.round_duration,
+                lambda r=round_number: self._boundary(r),
+            )
+
+    def handle(self, sender: PartyId, payload: Any) -> bool:
+        if not (
+            isinstance(payload, tuple)
+            and len(payload) == 5
+            and payload[0] == PK_MSG
+            and payload[1] == self.tag
+        ):
+            return False
+        _, _, phase, step, value = payload
+        if not isinstance(phase, int) or not isinstance(step, int):
+            return True
+        bucket = self._inbox.setdefault((phase, step), {})
+        bucket.setdefault(sender, value)
+        return True
+
+    # ------------------------------------------------------------------ #
+    # the three steps per phase
+    # ------------------------------------------------------------------ #
+
+    def _send(self, phase: int, step: int, value: Value) -> None:
+        self.host.multicast((PK_MSG, self.tag, phase, step, value))
+
+    def _majority(self, phase: int, step: int) -> tuple[Value, int]:
+        bucket = self._inbox.get((phase, step), {})
+        counts: dict[Value, int] = {}
+        for value in bucket.values():
+            counts[value] = counts.get(value, 0) + 1
+        if not counts:
+            return self.default, 0
+        best = max(sorted(counts, key=repr), key=lambda v: counts[v])
+        return best, counts[best]
+
+    def _boundary(self, round_number: int) -> None:
+        phase, step = divmod(round_number - 1, 3)
+        if phase >= self.phases:
+            return
+        if step == 0:
+            # End of step-1 exchange: compute z, send it.
+            z, _ = self._majority(phase, 1)
+            self._z = z
+            self._send(phase, 2, z)
+        elif step == 1:
+            # End of step-2 exchange: compute y and its count; the king
+            # broadcasts its y.
+            y, d = self._majority(phase, 2)
+            self._y, self._d = y, d
+            if self.host.id == phase % self.host.n:
+                self._send(phase, 3, y)
+        else:
+            # End of the king round: adopt y or the king's value.
+            king = phase % self.host.n
+            king_value = self._inbox.get((phase, 3), {}).get(
+                king, self.default
+            )
+            if self._d >= self.host.n - self.host.f:
+                self.value = self._y
+            else:
+                self.value = king_value
+            next_phase = phase + 1
+            if next_phase < self.phases:
+                self._send(next_phase, 1, self.value)
+            elif not self._decided:
+                self._decided = True
+                self.on_decide(self.value)

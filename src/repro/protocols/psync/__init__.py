@@ -1,0 +1,27 @@
+"""Partially synchronous broadcast protocols (psync-VBB family)."""
+from repro.protocols.psync.certificates import (
+    Certificate,
+    CertificateChecker,
+    CertStatus,
+    always_valid,
+    make_bottom_entry,
+    make_leader_pair,
+    make_value_entry,
+)
+from repro.protocols.psync.fab import FabPsync
+from repro.protocols.psync.pbft import PbftPsync, PreparedCert
+from repro.protocols.psync.vbb_5f1 import PsyncVbb5f1
+
+__all__ = [
+    "CertStatus",
+    "Certificate",
+    "CertificateChecker",
+    "FabPsync",
+    "PbftPsync",
+    "PreparedCert",
+    "PsyncVbb5f1",
+    "always_valid",
+    "make_bottom_entry",
+    "make_leader_pair",
+    "make_value_entry",
+]

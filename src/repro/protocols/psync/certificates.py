@@ -1,0 +1,219 @@
+"""Certificate check for the (5f-1)-psync-VBB protocol (paper Figure 2).
+
+A certificate ``C`` of view ``w`` is a set of signed entries from distinct
+parties, each either
+
+* a *bottom entry* ``<BOTTOM, w>_j`` — party ``j``'s signature over the
+  pair ``(BOTTOM, w)`` (sent in a timeout before voting), or
+* a *value entry* ``<v, w>_{L_w, j}`` — the leader-signed pair ``(v, w)``
+  countersigned by ``j`` (a vote, or a timeout after voting), with ``v``
+  externally valid.
+
+``C`` is **valid** iff it contains at least ``q = n - f`` entries from
+distinct parties.  ``C`` **locks** a value ``v != BOTTOM`` iff
+
+1. it contains at least ``t1`` value entries for ``v`` and *no* value
+   entry for any ``v' != v``  (paper: ``t1 = 2f - 1`` at ``n = 5f - 1``,
+   i.e. ``t1 = q - 2f``), or
+2. it contains at least ``t2`` value entries for ``v`` countersigned by
+   parties *other than the leader* (paper: ``t2 = 2f``, i.e.
+   ``t2 = q - 2f + 1``).
+
+The empty certificate is the valid *genesis* certificate of view 0, which
+locks any externally valid value.  Certificates rank by view number.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.crypto.signatures import KeyRegistry, SignedPayload
+from repro.types import BOTTOM, PartyId, Value
+
+#: External validity predicate F: Value -> bool (Definition 5).
+ExternalValidity = Callable[[Value], bool]
+
+
+def always_valid(value: Value) -> bool:
+    """The trivial external-validity predicate (plain psync-BB)."""
+    return True
+
+
+VAL = "val"
+
+
+def make_leader_pair(leader_signer, value: Value, view: int) -> SignedPayload:
+    """The leader-signed pair ``<v, w>_{L_w}``."""
+    return leader_signer.sign((VAL, value, view))
+
+
+def make_value_entry(
+    party_signer, leader_pair: SignedPayload
+) -> SignedPayload:
+    """Countersign a leader pair: ``<v, w>_{L_w, j}``."""
+    return party_signer.sign(leader_pair)
+
+
+def make_bottom_entry(party_signer, view: int) -> SignedPayload:
+    """Party-signed bottom pair ``<BOTTOM, w>_j``."""
+    return party_signer.sign((VAL, BOTTOM, view))
+
+
+@dataclass(frozen=True)
+class ParsedEntry:
+    """A validated certificate entry."""
+
+    contributor: PartyId
+    value: Value  # BOTTOM for bottom entries
+    view: int
+
+    @property
+    def is_bottom(self) -> bool:
+        return self.value is BOTTOM
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A (possibly genesis) certificate: view number plus signed entries."""
+
+    view: int
+    entries: tuple[SignedPayload, ...]
+
+    @classmethod
+    def genesis(cls) -> "Certificate":
+        return cls(view=0, entries=())
+
+    @property
+    def is_genesis(self) -> bool:
+        return self.view == 0 and not self.entries
+
+    def _canonical_fields(self) -> tuple:
+        return (self.view, self.entries)
+
+    def __repr__(self) -> str:
+        if self.is_genesis:
+            return "Certificate(genesis)"
+        return f"Certificate(view={self.view}, entries={len(self.entries)})"
+
+
+@dataclass(frozen=True)
+class CertStatus:
+    """Result of evaluating a certificate."""
+
+    valid: bool
+    locked_value: Value | None  # None = locks nothing
+    locks_any: bool = False  # genesis: locks any externally valid value
+
+    def locks(self, value: Value, external_validity: ExternalValidity) -> bool:
+        if not self.valid:
+            return False
+        if self.locks_any:
+            return value is not BOTTOM and external_validity(value)
+        return self.locked_value == value and value is not None
+
+
+class CertificateChecker:
+    """Evaluates certificates for a fixed ``(n, f)`` configuration.
+
+    ``leader_of`` maps a view number to its leader (round-robin by
+    default, with view 1 led by the designated broadcaster).
+    """
+
+    def __init__(
+        self,
+        *,
+        n: int,
+        f: int,
+        registry: KeyRegistry,
+        leader_of: Callable[[int], PartyId],
+        external_validity: ExternalValidity = always_valid,
+    ):
+        self.n = n
+        self.f = f
+        self.quorum = n - f
+        # Paper thresholds at n = 5f-1 are 2f-1 and 2f; generalized as
+        # q - 2f and q - 2f + 1 (see Section 4.1's counting argument).
+        self.t1 = self.quorum - 2 * f
+        self.t2 = self.quorum - 2 * f + 1
+        self.registry = registry
+        self.leader_of = leader_of
+        self.external_validity = external_validity
+
+    # ------------------------------------------------------------------ #
+    # entry parsing
+    # ------------------------------------------------------------------ #
+
+    def parse_entry(
+        self, entry: SignedPayload, view: int
+    ) -> ParsedEntry | None:
+        """Validate one entry against ``view``; None when malformed."""
+        if not self.registry.verify(entry):
+            return None
+        payload = entry.payload
+        if isinstance(payload, SignedPayload):
+            # Value entry: countersigned leader pair.
+            if not self.registry.verify(payload):
+                return None
+            inner = payload.payload
+            if not self._is_pair(inner, view):
+                return None
+            _, value, _ = inner
+            if value is BOTTOM:
+                return None
+            if payload.signer != self.leader_of(view):
+                return None
+            if not self.external_validity(value):
+                return None
+            return ParsedEntry(entry.signer, value, view)
+        if self._is_pair(payload, view) and payload[1] is BOTTOM:
+            return ParsedEntry(entry.signer, BOTTOM, view)
+        return None
+
+    @staticmethod
+    def _is_pair(payload, view: int) -> bool:
+        return (
+            isinstance(payload, tuple)
+            and len(payload) == 3
+            and payload[0] == VAL
+            and payload[2] == view
+        )
+
+    # ------------------------------------------------------------------ #
+    # certificate evaluation (Figure 2)
+    # ------------------------------------------------------------------ #
+
+    def evaluate(self, cert: Certificate) -> CertStatus:
+        """Apply the Figure 2 Certificate Check to ``cert``."""
+        if cert.is_genesis:
+            return CertStatus(valid=True, locked_value=None, locks_any=True)
+        parsed: dict[PartyId, ParsedEntry] = {}
+        for entry in cert.entries:
+            item = self.parse_entry(entry, cert.view)
+            if item is None:
+                return CertStatus(valid=False, locked_value=None)
+            if item.contributor in parsed:
+                return CertStatus(valid=False, locked_value=None)
+            parsed[item.contributor] = item
+        if len(parsed) < self.quorum:
+            return CertStatus(valid=False, locked_value=None)
+        leader = self.leader_of(cert.view)
+        value_entries = [e for e in parsed.values() if not e.is_bottom]
+        values = {e.value for e in value_entries}
+        for value in values:
+            count = sum(1 for e in value_entries if e.value == value)
+            # Condition (1): enough entries and no conflicting value.
+            if count >= self.t1 and values == {value}:
+                return CertStatus(valid=True, locked_value=value)
+            # Condition (2): enough entries from non-leader parties.
+            non_leader = sum(
+                1
+                for e in value_entries
+                if e.value == value and e.contributor != leader
+            )
+            if non_leader >= self.t2:
+                return CertStatus(valid=True, locked_value=value)
+        return CertStatus(valid=True, locked_value=None)
+
+    def ranked_higher(self, a: Certificate, b: Certificate) -> bool:
+        """True iff ``a`` ranks strictly higher than ``b`` (by view)."""
+        return a.view > b.view

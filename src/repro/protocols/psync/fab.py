@@ -1,0 +1,258 @@
+"""FaB-style 2-round psync-VBB baseline: ``n >= 5f + 1`` (Martin-Alvisi).
+
+The paper's Section 4.1 intuition: FaB commits after one round of voting
+with ``n = 5f + 1`` because any ``n - f = 4f + 1`` view-change messages
+contain at least ``2f + 1`` from honest parties that voted the committed
+value — a majority of ``4f + 1`` that the next leader can re-propose.
+With fewer parties the majority argument breaks, which is exactly the gap
+the paper's (5f-1) protocol closes via equivocation detection.
+
+Implemented as the simplified "report your latest vote" variant: view
+changes carry the signed latest-voted value, and a value reported by at
+least ``2f + 1`` parties (a majority of any quorum) must be re-proposed.
+
+Good-case latency: 2 rounds (propose round 0, votes round 1, commit on
+delivering the vote quorum).
+"""
+from __future__ import annotations
+
+from typing import Any
+
+from repro.crypto.signatures import SignedPayload
+from repro.errors import ConfigurationError
+from repro.protocols.base import BroadcastParty
+from repro.protocols.psync.certificates import ExternalValidity, always_valid
+from repro.types import PartyId, Value, validate_resilience
+
+PROPOSE = "fab-propose"
+VOTE = "fab-vote"
+VOTES = "fab-votes"
+VIEWCHANGE = "fab-viewchange"
+VIEWCHANGES = "fab-viewchanges"
+
+
+class FabPsync(BroadcastParty):
+    """One replica of the simplified FaB protocol."""
+
+    #: Overridable so lower-bound witnesses can instantiate the protocol
+    #: below its designed resilience (Theorem 7 strawman).
+    RESILIENCE = "5f+1"
+
+    def __init__(
+        self,
+        world,
+        party_id: PartyId,
+        *,
+        broadcaster: PartyId,
+        input_value: Value | None = None,
+        big_delta: float = 1.0,
+        external_validity: ExternalValidity = always_valid,
+        fallback_value: Value = "fallback",
+        max_view: int = 50,
+    ):
+        super().__init__(
+            world, party_id, broadcaster=broadcaster, input_value=input_value
+        )
+        validate_resilience(self.n, self.f, requirement=self.RESILIENCE)
+        if big_delta <= 0:
+            raise ConfigurationError(f"Delta must be > 0, got {big_delta}")
+        self.big_delta = big_delta
+        self.external_validity = external_validity
+        self.fallback_value = fallback_value
+        self.max_view = max_view
+        self.quorum = self.n - self.f
+        self.majority = 2 * self.f + 1  # majority of any quorum of 4f+1
+        self.current_view = 1
+        self.latest_vote: tuple[Value, int] | None = None
+        self._voted_in: set[int] = set()
+        self._timed_out: set[int] = set()
+        self._advanced_past: set[int] = set()
+        self._votes: dict[tuple[int, Value], dict[PartyId, SignedPayload]] = {}
+        self._viewchanges: dict[int, dict[PartyId, SignedPayload]] = {}
+        self._pending_proposals: dict[int, SignedPayload] = {}
+        self._proposed_in: set[int] = set()
+
+    def leader_of(self, view: int) -> PartyId:
+        return (self.broadcaster + view - 1) % self.n
+
+    def on_start(self) -> None:
+        self._arm_view_timer(1)
+        if self.is_broadcaster:
+            self.multicast(
+                self.signer.sign((PROPOSE, self.input_value, 1, None))
+            )
+
+    def on_message(self, sender: PartyId, payload: Any) -> None:
+        if isinstance(payload, SignedPayload):
+            body = payload.payload
+            if not isinstance(body, tuple) or not body:
+                return
+            kind = body[0]
+            if kind == PROPOSE:
+                self._on_proposal(payload)
+            elif kind == VOTE:
+                self._on_vote(payload)
+            elif kind == VIEWCHANGE:
+                self._on_viewchange(payload)
+            return
+        if isinstance(payload, tuple) and payload:
+            if payload[0] == VOTES:
+                for msg in payload[1]:
+                    self._on_vote(msg)
+            elif payload[0] == VIEWCHANGES:
+                for msg in payload[1]:
+                    self._on_viewchange(msg)
+
+    # ------------------------------------------------------------------ #
+    # propose / vote / commit
+    # ------------------------------------------------------------------ #
+
+    def _on_proposal(self, proposal: SignedPayload) -> None:
+        if not self.verify(proposal):
+            return
+        _, value, view, justification = proposal.payload
+        if not isinstance(view, int) or view < 1:
+            return
+        if proposal.signer != self.leader_of(view):
+            return
+        if view > self.current_view:
+            self._pending_proposals.setdefault(view, proposal)
+            return
+        if view < self.current_view:
+            return
+        if view in self._voted_in or view in self._timed_out:
+            return
+        if not self.external_validity(value):
+            return
+        if not self._justified(view, value, justification):
+            return
+        self._voted_in.add(view)
+        self.latest_vote = (value, view)
+        self.multicast(self.signer.sign((VOTE, value, view)))
+
+    def _justified(self, view: int, value: Value, justification) -> bool:
+        if view == 1:
+            return True
+        majority = self._majority_value(view - 1, justification)
+        if majority is ...:
+            return False
+        if majority is None:
+            return True
+        return majority == value
+
+    def _majority_value(self, vc_view: int, justification):
+        """Value reported by >= 2f+1 view-change messages, if any.
+
+        Returns ``...`` for malformed justifications, ``None`` when no
+        value reaches the majority threshold.
+        """
+        if not isinstance(justification, tuple):
+            return ...
+        reports: dict[PartyId, Value | None] = {}
+        for msg in justification:
+            if not isinstance(msg, SignedPayload) or not self.verify(msg):
+                continue
+            body = msg.payload
+            if not (
+                isinstance(body, tuple)
+                and len(body) == 3
+                and body[0] == VIEWCHANGE
+                and body[1] == vc_view
+            ):
+                continue
+            reports.setdefault(msg.signer, body[2])
+        if len(reports) < self.quorum:
+            return ...
+        counts: dict[Value, int] = {}
+        for value in reports.values():
+            if value is not None:
+                counts[value] = counts.get(value, 0) + 1
+        for value, count in counts.items():
+            if count >= self.majority:
+                return value
+        return None
+
+    def _on_vote(self, msg: SignedPayload) -> None:
+        if not isinstance(msg, SignedPayload) or not self.verify(msg):
+            return
+        body = msg.payload
+        if not (isinstance(body, tuple) and len(body) == 3 and body[0] == VOTE):
+            return
+        _, value, view = body
+        if not self.external_validity(value):
+            return
+        bucket = self._votes.setdefault((view, value), {})
+        bucket[msg.signer] = msg
+        if len(bucket) >= self.quorum and not self.has_committed:
+            self.multicast((VOTES, tuple(bucket.values())), include_self=False)
+            self.commit(value)
+            self.terminate()
+
+    # ------------------------------------------------------------------ #
+    # timeouts and view change
+    # ------------------------------------------------------------------ #
+
+    def _arm_view_timer(self, view: int) -> None:
+        self.after_local_delay(
+            4 * self.big_delta, lambda: self._maybe_timeout(view)
+        )
+
+    def _maybe_timeout(self, view: int) -> None:
+        if self.has_committed or self.current_view != view:
+            return
+        if view in self._timed_out:
+            return
+        self._timed_out.add(view)
+        reported = self.latest_vote[0] if self.latest_vote else None
+        self.multicast(self.signer.sign((VIEWCHANGE, view, reported)))
+
+    def _on_viewchange(self, msg: SignedPayload) -> None:
+        if not isinstance(msg, SignedPayload) or not self.verify(msg):
+            return
+        body = msg.payload
+        if not (
+            isinstance(body, tuple) and len(body) == 3 and body[0] == VIEWCHANGE
+        ):
+            return
+        view = body[1]
+        if not isinstance(view, int) or view < 1:
+            return
+        bucket = self._viewchanges.setdefault(view, {})
+        bucket.setdefault(msg.signer, msg)
+        if view in self._advanced_past or view + 1 <= self.current_view:
+            return
+        if view + 1 > self.max_view:
+            return
+        if len(bucket) >= self.quorum:
+            self._advanced_past.add(view)
+            self.multicast(
+                (VIEWCHANGES, tuple(bucket.values())), include_self=False
+            )
+            self._enter_view(view + 1)
+
+    def _enter_view(self, view: int) -> None:
+        self.current_view = view
+        self._arm_view_timer(view)
+        if self.leader_of(view) == self.id:
+            self._propose_new_view(view)
+        pending = self._pending_proposals.pop(view, None)
+        if pending is not None:
+            self._on_proposal(pending)
+
+    def _propose_new_view(self, view: int) -> None:
+        if view in self._proposed_in:
+            return
+        self._proposed_in.add(view)
+        justification = tuple(self._viewchanges.get(view - 1, {}).values())
+        majority = self._majority_value(view - 1, justification)
+        if majority is ...:
+            return
+        if majority is None:
+            value = (
+                self.input_value
+                if self.input_value is not None
+                else self.fallback_value
+            )
+        else:
+            value = majority
+        self.multicast(self.signer.sign((PROPOSE, value, view, justification)))

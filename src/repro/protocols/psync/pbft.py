@@ -1,0 +1,324 @@
+"""Single-shot PBFT-style psync-VBB: 3 good-case rounds, ``n >= 3f+1``.
+
+This is the paper's baseline for the regime ``3f + 1 <= n <= 5f - 2``
+(Table 1: 3 rounds are necessary and sufficient; the upper bound "is tight
+given the PBFT protocol [11]").  One view = pre-prepare (propose) +
+prepare + commit; view change carries prepared certificates, and the new
+leader re-proposes the value of the highest prepared certificate.
+
+Good-case latency: propose (round 0) -> prepare (round 1) -> commit vote
+(round 2) -> commit on delivering the commit-vote quorum, i.e. 3 rounds.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.crypto.signatures import SignedPayload
+from repro.errors import ConfigurationError
+from repro.protocols.base import BroadcastParty
+from repro.protocols.psync.certificates import ExternalValidity, always_valid
+from repro.types import PartyId, Value, validate_resilience
+
+PROPOSE = "pbft-propose"
+PREPARE = "pbft-prepare"
+COMMIT = "pbft-commit"
+COMMITS = "pbft-commits"
+VIEWCHANGE = "pbft-viewchange"
+VIEWCHANGES = "pbft-viewchanges"
+
+
+@dataclass(frozen=True)
+class PreparedCert:
+    """A quorum of prepare signatures for ``(value, view)``."""
+
+    value: Value
+    view: int
+    prepares: tuple[SignedPayload, ...]
+
+    def _canonical_fields(self) -> tuple:
+        return (self.value, self.view, self.prepares)
+
+
+class PbftPsync(BroadcastParty):
+    """One replica of single-shot PBFT."""
+
+    def __init__(
+        self,
+        world,
+        party_id: PartyId,
+        *,
+        broadcaster: PartyId,
+        input_value: Value | None = None,
+        big_delta: float = 1.0,
+        external_validity: ExternalValidity = always_valid,
+        fallback_value: Value = "fallback",
+        max_view: int = 50,
+    ):
+        super().__init__(
+            world, party_id, broadcaster=broadcaster, input_value=input_value
+        )
+        validate_resilience(self.n, self.f, requirement="3f+1")
+        if big_delta <= 0:
+            raise ConfigurationError(f"Delta must be > 0, got {big_delta}")
+        self.big_delta = big_delta
+        self.external_validity = external_validity
+        self.fallback_value = fallback_value
+        self.max_view = max_view
+        self.quorum = self.n - self.f
+        self.current_view = 1
+        self.prepared: PreparedCert | None = None  # my lock
+        self._voted_prepare: set[int] = set()
+        self._sent_commit: set[int] = set()
+        self._timed_out: set[int] = set()
+        self._advanced_past: set[int] = set()
+        self._prepares: dict[tuple[int, Value], dict[PartyId, SignedPayload]] = {}
+        self._commits: dict[tuple[int, Value], dict[PartyId, SignedPayload]] = {}
+        self._viewchanges: dict[int, dict[PartyId, SignedPayload]] = {}
+        self._pending_proposals: dict[int, SignedPayload] = {}
+        self._proposed_in: set[int] = set()
+
+    def leader_of(self, view: int) -> PartyId:
+        return (self.broadcaster + view - 1) % self.n
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def on_start(self) -> None:
+        self._arm_view_timer(1)
+        if self.is_broadcaster:
+            proposal = self.signer.sign((PROPOSE, self.input_value, 1, None))
+            self.multicast(proposal)
+
+    def on_message(self, sender: PartyId, payload: Any) -> None:
+        if isinstance(payload, SignedPayload):
+            body = payload.payload
+            if not isinstance(body, tuple) or not body:
+                return
+            kind = body[0]
+            if kind == PROPOSE:
+                self._on_proposal(payload)
+            elif kind == PREPARE:
+                self._on_prepare(payload)
+            elif kind == COMMIT:
+                self._on_commit_vote(payload)
+            elif kind == VIEWCHANGE:
+                self._on_viewchange(payload)
+            return
+        if isinstance(payload, tuple) and payload:
+            if payload[0] == COMMITS:
+                for msg in payload[1]:
+                    self._on_commit_vote(msg)
+            elif payload[0] == VIEWCHANGES:
+                for msg in payload[1]:
+                    self._on_viewchange(msg)
+
+    # ------------------------------------------------------------------ #
+    # propose / prepare
+    # ------------------------------------------------------------------ #
+
+    def _on_proposal(self, proposal: SignedPayload) -> None:
+        if not self.verify(proposal):
+            return
+        _, value, view, justification = proposal.payload
+        if not isinstance(view, int) or view < 1:
+            return
+        if proposal.signer != self.leader_of(view):
+            return
+        if view > self.current_view:
+            self._pending_proposals.setdefault(view, proposal)
+            return
+        if view < self.current_view:
+            return
+        if view in self._voted_prepare or view in self._timed_out:
+            return
+        if not self.external_validity(value):
+            return
+        if not self._justified(view, value, justification):
+            return
+        self._voted_prepare.add(view)
+        self.multicast(self.signer.sign((PREPARE, value, view)))
+
+    def _justified(self, view: int, value: Value, justification) -> bool:
+        if view == 1:
+            return True
+        highest = self._highest_prepared(view - 1, justification)
+        if highest is ...:
+            return False
+        if highest is None:
+            return True  # nothing prepared: leader may propose anything
+        return highest.value == value
+
+    def _highest_prepared(self, vc_view: int, justification):
+        """Validate a view-change set; return highest prepared cert.
+
+        Returns ``...`` (Ellipsis) when the justification is malformed,
+        ``None`` when it is valid but contains no prepared certificate.
+        """
+        if not isinstance(justification, tuple):
+            return ...
+        seen: dict[PartyId, PreparedCert | None] = {}
+        for msg in justification:
+            parsed = self._parse_viewchange(msg, vc_view)
+            if parsed is ...:
+                continue
+            signer, cert = parsed
+            seen.setdefault(signer, cert)
+        if len(seen) < self.quorum:
+            return ...
+        certs = [c for c in seen.values() if c is not None]
+        if not certs:
+            return None
+        return max(certs, key=lambda c: c.view)
+
+    def _parse_viewchange(self, msg, vc_view: int):
+        if not isinstance(msg, SignedPayload) or not self.verify(msg):
+            return ...
+        body = msg.payload
+        if not (
+            isinstance(body, tuple) and len(body) == 3 and body[0] == VIEWCHANGE
+        ):
+            return ...
+        _, view, cert = body
+        if view != vc_view:
+            return ...
+        if cert is not None:
+            if not isinstance(cert, PreparedCert):
+                return ...
+            if not self._prepared_cert_valid(cert):
+                return ...
+        return msg.signer, cert
+
+    def _prepared_cert_valid(self, cert: PreparedCert) -> bool:
+        if not self.external_validity(cert.value):
+            return False
+        signers = set()
+        for prepare in cert.prepares:
+            if not isinstance(prepare, SignedPayload) or not self.verify(prepare):
+                return False
+            body = prepare.payload
+            if body != (PREPARE, cert.value, cert.view):
+                return False
+            signers.add(prepare.signer)
+        return len(signers) >= self.quorum
+
+    # ------------------------------------------------------------------ #
+    # prepare -> commit vote -> commit
+    # ------------------------------------------------------------------ #
+
+    def _on_prepare(self, msg: SignedPayload) -> None:
+        if not self.verify(msg):
+            return
+        _, value, view = msg.payload
+        if not isinstance(view, int) or view < 1:
+            return
+        if not self.external_validity(value):
+            return
+        bucket = self._prepares.setdefault((view, value), {})
+        bucket[msg.signer] = msg
+        if len(bucket) >= self.quorum and view not in self._sent_commit:
+            self._sent_commit.add(view)
+            cert = PreparedCert(value, view, tuple(bucket.values()))
+            if self.prepared is None or cert.view > self.prepared.view:
+                self.prepared = cert
+            self.multicast(self.signer.sign((COMMIT, value, view)))
+
+    def _on_commit_vote(self, msg: SignedPayload) -> None:
+        if not isinstance(msg, SignedPayload) or not self.verify(msg):
+            return
+        body = msg.payload
+        if not (
+            isinstance(body, tuple) and len(body) == 3 and body[0] == COMMIT
+        ):
+            return
+        _, value, view = body
+        bucket = self._commits.setdefault((view, value), {})
+        bucket[msg.signer] = msg
+        if len(bucket) >= self.quorum and not self.has_committed:
+            self.multicast(
+                (COMMITS, tuple(bucket.values())), include_self=False
+            )
+            self.commit(value)
+            self.terminate()
+
+    # ------------------------------------------------------------------ #
+    # timeouts and view change
+    # ------------------------------------------------------------------ #
+
+    def _arm_view_timer(self, view: int) -> None:
+        self.after_local_delay(
+            4 * self.big_delta, lambda: self._maybe_timeout(view)
+        )
+
+    def _maybe_timeout(self, view: int) -> None:
+        if self.has_committed or self.current_view != view:
+            return
+        if view in self._timed_out:
+            return
+        self._timed_out.add(view)
+        self.multicast(self.signer.sign((VIEWCHANGE, view, self.prepared)))
+
+    def _on_viewchange(self, msg: SignedPayload) -> None:
+        parsed_view = self._viewchange_view(msg)
+        if parsed_view is None:
+            return
+        view = parsed_view
+        bucket = self._viewchanges.setdefault(view, {})
+        bucket.setdefault(msg.signer, msg)
+        if view in self._advanced_past or view + 1 <= self.current_view:
+            return
+        if view + 1 > self.max_view:
+            return
+        if len(bucket) >= self.quorum:
+            self._advanced_past.add(view)
+            self.multicast(
+                (VIEWCHANGES, tuple(bucket.values())), include_self=False
+            )
+            self._enter_view(view + 1)
+
+    def _viewchange_view(self, msg) -> int | None:
+        if not isinstance(msg, SignedPayload) or not self.verify(msg):
+            return None
+        body = msg.payload
+        if not (
+            isinstance(body, tuple) and len(body) == 3 and body[0] == VIEWCHANGE
+        ):
+            return None
+        view = body[1]
+        if not isinstance(view, int) or view < 1:
+            return None
+        cert = body[2]
+        if cert is not None and (
+            not isinstance(cert, PreparedCert)
+            or not self._prepared_cert_valid(cert)
+        ):
+            return None
+        return view
+
+    def _enter_view(self, view: int) -> None:
+        self.current_view = view
+        self._arm_view_timer(view)
+        if self.leader_of(view) == self.id:
+            self._propose_new_view(view)
+        pending = self._pending_proposals.pop(view, None)
+        if pending is not None:
+            self._on_proposal(pending)
+
+    def _propose_new_view(self, view: int) -> None:
+        if view in self._proposed_in:
+            return
+        self._proposed_in.add(view)
+        justification = tuple(self._viewchanges.get(view - 1, {}).values())
+        highest = self._highest_prepared(view - 1, justification)
+        if highest is ... :
+            return  # cannot justify (should not happen after the quorum)
+        if highest is None:
+            value = (
+                self.input_value
+                if self.input_value is not None
+                else self.fallback_value
+            )
+        else:
+            value = highest.value
+        self.multicast(self.signer.sign((PROPOSE, value, view, justification)))

@@ -1,0 +1,458 @@
+"""The (5f-1)-psync-VBB protocol (paper Figure 3).
+
+Partially synchronous validated Byzantine broadcast with good-case latency
+of **2 rounds** and optimal resilience ``n >= 5f - 1`` — the paper's main
+partial-synchrony upper bound (Theorem 2, part 1).  It follows the PBFT
+view framework but commits after a single round of voting; the resilience
+improvement over FaB's ``n >= 5f + 1`` comes from detecting leader
+equivocation during view change (certificate condition (2) of Figure 2).
+
+Protocol steps (quorum ``q = n - f``; ``q = 4f - 1`` at ``n = 5f - 1``):
+
+1. **Propose.**  Leader ``L_w`` sends ``<propose, <v, w>_{L_w}, S>_{L_w}``.
+   In view 1 the proposal is the broadcaster's input and ``S = BOTTOM``.
+2. **Vote.**  On the first valid proposal of the current view, if the
+   justification ``S`` checks out, multicast the countersigned pair
+   ``<vote, <v, w>_{L_w, i}>_i``.
+3. **Commit.**  On ``q`` distinct vote entries for the same ``v``,
+   forward them to everyone, commit ``v`` (and, single-shot, terminate).
+4. **Timeout.**  If not committed within ``4 * Delta`` of entering view
+   ``w``, stop voting in ``w`` and multicast a timeout carrying the voted
+   pair (if voted) or a signed bottom pair.
+5. **New view.**  On ``q`` valid timeouts of view ``w - 1`` that contain
+   only one non-bottom leader-signed value — or ``q`` valid timeouts all
+   from parties other than ``L_{w-1}`` (the equivocation case: wait for
+   one more) — forward them, update the highest certificate if they form
+   one that locks a value, enter view ``w``, and send ``L_w`` a status
+   message with the highest certificate.
+6. **Status.**  The new leader collects ``q`` status messages and
+   re-proposes the locked value of the highest certificate (attaching the
+   certificate if it is of view ``w - 1``, else the full status set).
+"""
+from __future__ import annotations
+
+from typing import Any
+
+from repro.crypto.signatures import SignedPayload
+from repro.errors import ConfigurationError
+from repro.protocols.base import BroadcastParty
+from repro.protocols.psync.certificates import (
+    VAL,
+    Certificate,
+    CertificateChecker,
+    ExternalValidity,
+    always_valid,
+    make_bottom_entry,
+    make_leader_pair,
+    make_value_entry,
+)
+from repro.types import BOTTOM, PartyId, Value, validate_resilience
+
+PROPOSE = "propose"
+VOTE = "vote"
+VOTES = "votes"
+TIMEOUT = "timeout"
+TIMEOUTS = "timeouts"
+STATUS = "status"
+
+
+class PsyncVbb5f1(BroadcastParty):
+    """One replica of the (5f-1)-psync-VBB protocol."""
+
+    #: Overridable for experiments probing the resilience boundary.
+    RESILIENCE = "5f-1"
+
+    def __init__(
+        self,
+        world,
+        party_id: PartyId,
+        *,
+        broadcaster: PartyId,
+        input_value: Value | None = None,
+        big_delta: float = 1.0,
+        external_validity: ExternalValidity = always_valid,
+        fallback_value: Value = "fallback",
+        max_view: int = 50,
+    ):
+        super().__init__(
+            world, party_id, broadcaster=broadcaster, input_value=input_value
+        )
+        validate_resilience(self.n, self.f, requirement=self.RESILIENCE)
+        if big_delta <= 0:
+            raise ConfigurationError(f"Delta must be > 0, got {big_delta}")
+        self.big_delta = big_delta
+        self.external_validity = external_validity
+        self.fallback_value = fallback_value
+        self.max_view = max_view
+        self.quorum = self.n - self.f
+        self.checker = CertificateChecker(
+            n=self.n,
+            f=self.f,
+            registry=self.registry,
+            leader_of=self.leader_of,
+            external_validity=external_validity,
+        )
+        self.current_view = 1
+        self.highest_cert = Certificate.genesis()
+        self._voted_pair: dict[int, SignedPayload] = {}  # view -> my entry
+        self._timed_out: set[int] = set()
+        self._advanced_past: set[int] = set()  # views whose timeout quorum fired
+        self._votes: dict[tuple[int, Value], dict[PartyId, SignedPayload]] = {}
+        self._timeout_entries: dict[int, dict[PartyId, SignedPayload]] = {}
+        self._statuses: dict[int, dict[PartyId, Certificate]] = {}
+        self._pending_proposals: dict[int, tuple[PartyId, Any]] = {}
+        self._proposed_in: set[int] = set()
+
+    # ------------------------------------------------------------------ #
+    # schedule
+    # ------------------------------------------------------------------ #
+
+    def leader_of(self, view: int) -> PartyId:
+        """Round-robin leaders; view 1 is led by the broadcaster."""
+        return (self.broadcaster + view - 1) % self.n
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def on_start(self) -> None:
+        self._arm_view_timer(1)
+        if self.leader_of(1) == self.id and self.is_broadcaster:
+            pair = make_leader_pair(self.signer, self.input_value, 1)
+            proposal = self.signer.sign((PROPOSE, pair, BOTTOM))
+            self.multicast(proposal)
+
+    def on_message(self, sender: PartyId, payload: Any) -> None:
+        if isinstance(payload, SignedPayload):
+            body = payload.payload
+            if isinstance(body, tuple) and body and body[0] == PROPOSE:
+                self._on_proposal(sender, payload)
+            elif isinstance(body, tuple) and body and body[0] == STATUS:
+                self._on_status(payload)
+            return
+        if not isinstance(payload, tuple) or not payload:
+            return
+        kind = payload[0]
+        if kind == VOTE:
+            self._on_vote_entry(payload[1])
+        elif kind == VOTES:
+            for entry in payload[2]:
+                self._on_vote_entry(entry)
+        elif kind == TIMEOUT:
+            self._on_timeout_entry(payload[1], payload[2])
+        elif kind == TIMEOUTS:
+            for entry in payload[2]:
+                self._on_timeout_entry(payload[1], entry)
+
+    # ------------------------------------------------------------------ #
+    # step 1 + 2: propose and vote
+    # ------------------------------------------------------------------ #
+
+    def _on_proposal(self, sender: PartyId, proposal: SignedPayload) -> None:
+        view = self._proposal_view(proposal)
+        if view is None:
+            return
+        if view > self.current_view:
+            self._pending_proposals.setdefault(view, (sender, proposal))
+            return
+        if view == self.current_view:
+            self._maybe_vote(proposal)
+
+    def _proposal_view(self, proposal: SignedPayload) -> int | None:
+        """Extract and sanity-check the view of a proposal message."""
+        if not self.verify(proposal):
+            return None
+        _, pair, _ = proposal.payload
+        if not isinstance(pair, SignedPayload) or not self.verify(pair):
+            return None
+        inner = pair.payload
+        if not (isinstance(inner, tuple) and len(inner) == 3 and inner[0] == VAL):
+            return None
+        view = inner[2]
+        if not isinstance(view, int) or view < 1:
+            return None
+        if proposal.signer != self.leader_of(view):
+            return None
+        if pair.signer != self.leader_of(view):
+            return None
+        return view
+
+    def _maybe_vote(self, proposal: SignedPayload) -> None:
+        view = self.current_view
+        if view in self._voted_pair or view in self._timed_out:
+            return
+        _, pair, justification = proposal.payload
+        _, value, _ = pair.payload
+        if value is BOTTOM or not self.external_validity(value):
+            return
+        if not self._justified(view, value, justification):
+            return
+        entry = make_value_entry(self.signer, pair)
+        self._voted_pair[view] = entry
+        self.multicast((VOTE, entry))
+
+    def _justified(self, view: int, value: Value, justification) -> bool:
+        """The three vote conditions of Step 2."""
+        if view == 1:
+            return True
+        if isinstance(justification, Certificate):
+            if justification.view != view - 1:
+                return False
+            status = self.checker.evaluate(justification)
+            return status.locks(value, self.external_validity)
+        if isinstance(justification, tuple):
+            certs = self._valid_status_certs(view - 1, justification)
+            if certs is None:
+                return False
+            highest_view = max(cert.view for cert in certs.values())
+            for cert in certs.values():
+                if cert.view != highest_view:
+                    continue
+                status = self.checker.evaluate(cert)
+                if status.locks(value, self.external_validity):
+                    return True
+        return False
+
+    def _valid_status_certs(
+        self, status_view: int, statuses: tuple
+    ) -> dict[PartyId, Certificate] | None:
+        """Validate a set of status messages of ``status_view``.
+
+        Returns contributor -> certificate when there are at least ``q``
+        valid statuses from distinct parties, each carrying a valid
+        certificate of view <= status_view that locks some non-bottom
+        value (the genesis certificate qualifies: it locks any externally
+        valid value).  Otherwise ``None``.
+        """
+        certs: dict[PartyId, Certificate] = {}
+        for signed in statuses:
+            if not isinstance(signed, SignedPayload) or not self.verify(signed):
+                continue
+            body = signed.payload
+            if not (
+                isinstance(body, tuple)
+                and len(body) == 3
+                and body[0] == STATUS
+                and body[1] == status_view
+                and isinstance(body[2], Certificate)
+            ):
+                continue
+            cert = body[2]
+            if cert.view > status_view:
+                continue
+            status = self.checker.evaluate(cert)
+            if not status.valid:
+                continue
+            if status.locked_value is None and not status.locks_any:
+                continue
+            certs.setdefault(signed.signer, cert)
+        if len(certs) < self.quorum:
+            return None
+        return certs
+
+    # ------------------------------------------------------------------ #
+    # step 3: commit
+    # ------------------------------------------------------------------ #
+
+    def _on_vote_entry(self, entry: SignedPayload) -> None:
+        parsed = self._parse_value_entry(entry)
+        if parsed is None:
+            return
+        view, value = parsed
+        bucket = self._votes.setdefault((view, value), {})
+        bucket[entry.signer] = entry
+        if len(bucket) >= self.quorum and not self.has_committed:
+            quorum = tuple(sorted(bucket.values(), key=lambda v: v.signer))
+            self.multicast((VOTES, view, quorum), include_self=False)
+            self.commit(value)
+            self.terminate()
+
+    def _parse_value_entry(
+        self, entry: SignedPayload
+    ) -> tuple[int, Value] | None:
+        """Validate a countersigned leader pair; return (view, value)."""
+        if not isinstance(entry, SignedPayload) or not self.verify(entry):
+            return None
+        pair = entry.payload
+        if not isinstance(pair, SignedPayload) or not self.verify(pair):
+            return None
+        inner = pair.payload
+        if not (isinstance(inner, tuple) and len(inner) == 3 and inner[0] == VAL):
+            return None
+        _, value, view = inner
+        if value is BOTTOM or not isinstance(view, int) or view < 1:
+            return None
+        if pair.signer != self.leader_of(view):
+            return None
+        if not self.external_validity(value):
+            return None
+        return view, value
+
+    # ------------------------------------------------------------------ #
+    # step 4: timeout
+    # ------------------------------------------------------------------ #
+
+    def _arm_view_timer(self, view: int) -> None:
+        self.after_local_delay(
+            4 * self.big_delta, lambda: self._maybe_timeout(view)
+        )
+
+    def _maybe_timeout(self, view: int) -> None:
+        if self.has_committed or self.current_view != view:
+            return
+        self._do_timeout(view)
+
+    def _do_timeout(self, view: int) -> None:
+        if view in self._timed_out:
+            return
+        self._timed_out.add(view)
+        if view in self._voted_pair:
+            entry = self._voted_pair[view]
+        else:
+            entry = make_bottom_entry(self.signer, view)
+        self.multicast((TIMEOUT, view, entry))
+
+    # ------------------------------------------------------------------ #
+    # step 5: new view
+    # ------------------------------------------------------------------ #
+
+    def _on_timeout_entry(self, view: int, entry: SignedPayload) -> None:
+        if not isinstance(view, int) or view < 1:
+            return
+        parsed = self.checker.parse_entry(entry, view)
+        if parsed is None:
+            return
+        bucket = self._timeout_entries.setdefault(view, {})
+        bucket.setdefault(parsed.contributor, entry)
+        if view in self._advanced_past or view + 1 <= self.current_view:
+            return
+        if view + 1 > self.max_view:
+            return
+        subset = self._new_view_trigger(view)
+        if subset is None:
+            return
+        self._advanced_past.add(view)
+        self.multicast((TIMEOUTS, view, tuple(subset)), include_self=False)
+        cert = Certificate(view=view, entries=tuple(subset))
+        status = self.checker.evaluate(cert)
+        if (
+            status.valid
+            and status.locked_value is not None
+            and cert.view > self.highest_cert.view
+        ):
+            self.highest_cert = cert
+        self._do_timeout(view)
+        self._enter_view(view + 1)
+
+    def _new_view_trigger(self, view: int) -> list[SignedPayload] | None:
+        """Check the two Step 5 conditions; return the triggering subset."""
+        bucket = self._timeout_entries.get(view, {})
+        if len(bucket) < self.quorum:
+            return None
+        leader = self.leader_of(view)
+        parsed = {
+            pid: self.checker.parse_entry(entry, view)
+            for pid, entry in bucket.items()
+        }
+        values = {p.value for p in parsed.values() if not p.is_bottom}
+        bottoms = [
+            bucket[pid] for pid, p in parsed.items() if p.is_bottom
+        ]
+        # Condition (a): a q-subset containing only one non-bottom value.
+        for value in values or {None}:
+            chosen = [
+                bucket[pid]
+                for pid, p in parsed.items()
+                if p.is_bottom or p.value == value
+            ]
+            if len(chosen) >= self.quorum:
+                return chosen
+        if not values and len(bottoms) >= self.quorum:
+            return bottoms
+        # Condition (b): q timeouts all from parties other than the leader.
+        non_leader = [
+            bucket[pid] for pid in parsed if pid != leader
+        ]
+        if len(non_leader) >= self.quorum:
+            return non_leader
+        return None
+
+    def _enter_view(self, view: int) -> None:
+        self.current_view = view
+        self._arm_view_timer(view)
+        status_msg = self.signer.sign((STATUS, view - 1, self.highest_cert))
+        self.send(self.leader_of(view), status_msg)
+        pending = self._pending_proposals.pop(view, None)
+        if pending is not None:
+            self._maybe_vote(pending[1])
+
+    # ------------------------------------------------------------------ #
+    # step 6: status (new leader proposes)
+    # ------------------------------------------------------------------ #
+
+    def _on_status(self, signed: SignedPayload) -> None:
+        body = signed.payload
+        if not (isinstance(body, tuple) and len(body) == 3):
+            return
+        _, prev_view, cert = body
+        if not isinstance(prev_view, int) or not isinstance(cert, Certificate):
+            return
+        view = prev_view + 1
+        if self.leader_of(view) != self.id:
+            return
+        bucket = self._statuses.setdefault(prev_view, {})
+        bucket.setdefault(signed.signer, signed)
+        self._maybe_propose(view)
+
+    def _maybe_propose(self, view: int) -> None:
+        if view in self._proposed_in or self.current_view != view:
+            return
+        statuses = tuple(self._statuses.get(view - 1, {}).values())
+        certs = self._valid_status_certs(view - 1, statuses)
+        if certs is None:
+            return
+        self._proposed_in.add(view)
+        value, justification = self._choose_proposal(view, certs, statuses)
+        pair = make_leader_pair(self.signer, value, view)
+        proposal = self.signer.sign((PROPOSE, pair, justification))
+        self.multicast(proposal)
+
+    def _choose_proposal(
+        self,
+        view: int,
+        certs: dict[PartyId, Certificate],
+        statuses: tuple,
+    ) -> tuple[Value, Any]:
+        """Step 6: pick the proposal value and its justification."""
+        # Case 1: some status carries a valid certificate of view w - 1.
+        for cert in certs.values():
+            if cert.view == view - 1:
+                status = self.checker.evaluate(cert)
+                if status.locked_value is not None:
+                    return status.locked_value, cert
+        # Case 2: propose what the highest certificate locks.
+        highest_view = max(cert.view for cert in certs.values())
+        for cert in certs.values():
+            if cert.view != highest_view:
+                continue
+            status = self.checker.evaluate(cert)
+            if status.locked_value is not None:
+                return status.locked_value, statuses
+        # Highest certificates lock "any" (genesis): free choice.
+        value = self.input_value if self.input_value is not None else (
+            self.fallback_value
+        )
+        return value, statuses
+
+    # ------------------------------------------------------------------ #
+    # re-check proposals when the view advances past buffered ones
+    # ------------------------------------------------------------------ #
+
+    def deliver(self, sender: PartyId, payload: Any) -> None:
+        super().deliver(sender, payload)
+        # A leader may have buffered statuses before entering its view.
+        if (
+            not self.terminated
+            and self.leader_of(self.current_view) == self.id
+        ):
+            self._maybe_propose(self.current_view)

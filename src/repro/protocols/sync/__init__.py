@@ -1,0 +1,27 @@
+"""Synchronous broadcast protocols (Table 1's synchrony rows)."""
+from repro.protocols.sync.base import SyncBroadcastParty
+from repro.protocols.sync.bb_2delta import Bb2Delta
+from repro.protocols.sync.bb_delta_15delta import BbDelta15Delta, uniform_grid
+from repro.protocols.sync.bb_delta_2delta import BbDelta2Delta
+from repro.protocols.sync.bb_delta_delta_n3 import BbDeltaDeltaN3
+from repro.protocols.sync.bb_delta_delta_sync import BbDeltaDeltaSync
+from repro.protocols.sync.bb_unauth_3delta import BbUnauth3Delta
+from repro.protocols.sync.dishonest_majority import (
+    TrustCast,
+    WanStyleBb,
+    trustcast_rounds,
+)
+
+__all__ = [
+    "Bb2Delta",
+    "BbDelta15Delta",
+    "BbDelta2Delta",
+    "BbDeltaDeltaN3",
+    "BbDeltaDeltaSync",
+    "BbUnauth3Delta",
+    "SyncBroadcastParty",
+    "TrustCast",
+    "WanStyleBb",
+    "trustcast_rounds",
+    "uniform_grid",
+]

@@ -1,0 +1,152 @@
+"""(Delta+delta)-BB (paper Figure 6): ``n/3 < f < n/2``, synchronized start.
+
+Good-case latency ``Delta + delta`` — optimal for this regime under
+synchronized start (Theorems 9 and 18).  Requires all parties to start at
+exactly the same time (``sigma = 0``); with any real skew the tight bound
+moves to ``Delta + 1.5*delta`` (Figure 9).
+
+    Initially lock = BOTTOM, rank = Delta + 1; all clocks start together.
+    (1) Propose.  Broadcaster sends <propose, v>_L to all.
+    (2) Vote.  On the first valid proposal at time d <= Delta, multicast
+        <vote, d, <propose, v>_L>_i.
+    (3) Commit and Lock.  For any t in [0, Delta]: if no equivocation is
+        detected within time t + Delta and f + 1 votes for v each carry
+        d <= t, commit v and forward those votes.  For any t: within time
+        2*Delta + t, on f + 1 votes for v each with d <= t and rank > t,
+        set lock = v, rank = t.
+    (4) Byzantine agreement.  At time 4*Delta, run BA on lock; commit its
+        output if not yet committed.  Terminate.
+
+Votes are *ranked* by the receipt time ``d`` they claim; the commit rule
+couples the equivocation-silence window to the rank, which is what makes
+``Delta + delta`` achievable beyond ``n/3`` faults (where vote quorums of
+``f + 1`` may exist for two values).
+"""
+from __future__ import annotations
+
+from typing import Any
+
+from repro.crypto.signatures import SignedPayload
+from repro.protocols.sync.base import SyncBroadcastParty
+from repro.types import PartyId, Value, validate_resilience
+
+VOTE = "vote"
+VOTE_BATCH = "vote-batch"
+
+
+class BbDeltaDeltaSync(SyncBroadcastParty):
+    """One party of the (Delta+delta)-BB protocol (synchronized start)."""
+
+    def __init__(self, world, party_id: PartyId, **kwargs: Any):
+        super().__init__(world, party_id, **kwargs)
+        validate_resilience(self.n, self.f, requirement="f<n/2")
+        self.rank: float = self.big_delta + 1
+        self._voted = False
+        # value -> signer -> (claimed d, vote message)
+        self._votes: dict[Value, dict[PartyId, tuple[float, SignedPayload]]] = {}
+        self._scheduled_checks: set[tuple[Value, float]] = set()
+
+    @property
+    def ba_time(self) -> float:
+        return 4 * self.big_delta
+
+    def on_start(self) -> None:
+        self.at_local_time(self.ba_time, self.invoke_ba)
+        if self.is_broadcaster:
+            self.multicast(self.make_proposal())
+
+    def on_protocol_message(self, sender: PartyId, payload: Any) -> None:
+        value = self.parse_proposal(payload)
+        if value is not None:
+            self.note_broadcaster_value(value)
+            self._on_proposal(value, payload)
+            return
+        if isinstance(payload, SignedPayload):
+            self._on_vote(payload)
+            return
+        if isinstance(payload, tuple) and payload and payload[0] == VOTE_BATCH:
+            for vote in payload[1]:
+                self._on_vote(vote)
+
+    # ------------------------------------------------------------------ #
+    # step 2
+    # ------------------------------------------------------------------ #
+
+    def _on_proposal(self, value: Value, proposal: SignedPayload) -> None:
+        if self._voted:
+            return
+        self._voted = True
+        d = self.local_time()
+        if d > self.big_delta:
+            return  # too late to vote
+        self.multicast(self.signer.sign((VOTE, d, proposal)))
+
+    # ------------------------------------------------------------------ #
+    # step 3
+    # ------------------------------------------------------------------ #
+
+    def _on_vote(self, vote: SignedPayload) -> None:
+        if not self.verify(vote):
+            return
+        body = vote.payload
+        if not (isinstance(body, tuple) and len(body) == 3 and body[0] == VOTE):
+            return
+        _, d, proposal = body
+        if not isinstance(d, (int, float)) or not 0 <= d <= self.big_delta:
+            return
+        value = self.parse_proposal(proposal)
+        if value is None:
+            return
+        self.note_broadcaster_value(value)
+        bucket = self._votes.setdefault(value, {})
+        if vote.signer in bucket:
+            return
+        bucket[vote.signer] = (d, vote)
+        self._evaluate(value)
+
+    def _candidate_ranks(self, value: Value) -> list[float]:
+        """Each t for which f + 1 votes for ``value`` have d <= t.
+
+        The minimal such t for a fixed vote subset is the largest d in it,
+        so the distinct candidate values are the sorted d's from position
+        f onward (0-indexed).
+        """
+        ds = sorted(d for d, _ in self._votes[value].values())
+        if len(ds) <= self.f:
+            return []
+        return sorted(set(ds[self.f:]))
+
+    def _evaluate(self, value: Value) -> None:
+        """Re-check commit and lock conditions for ``value``."""
+        now = self.local_time()
+        for t in self._candidate_ranks(value):
+            # Lock: within time 2*Delta + t, rank improves to t.
+            if now <= 2 * self.big_delta + t and self.rank > t:
+                self.lock = value
+                self.rank = t
+            # Commit: no equivocation within t + Delta.
+            window_end = t + self.big_delta
+            if now >= window_end:
+                if self.no_equivocation_by(window_end):
+                    self._commit_with_rank(value, t)
+                    return
+            elif (value, window_end) not in self._scheduled_checks:
+                self._scheduled_checks.add((value, window_end))
+                self.at_local_time(
+                    window_end, lambda v=value: self._evaluate(v)
+                )
+
+    def _commit_with_rank(self, value: Value, t: float) -> None:
+        if self.has_committed:
+            return
+        eligible = sorted(
+            (
+                (d, vote)
+                for d, vote in self._votes[value].values()
+                if d <= t
+            ),
+            key=lambda item: (item[0], item[1].signer),
+        )
+        votes = tuple(vote for _, vote in eligible[: self.f + 1])
+        self.multicast((VOTE_BATCH, votes), include_self=False)
+        self.commit(value)

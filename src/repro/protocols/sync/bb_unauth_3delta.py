@@ -1,0 +1,155 @@
+"""Unauthenticated synchronous BB with good-case latency ``3*delta``.
+
+The paper's Section 7 (open problems): "Under synchrony, unauthenticated
+BB is solvable if and only if ``f < n/3``, and there exists a gap between
+the ``2*delta`` lower bound and a ``3*delta`` upper bound implied by
+Bracha's broadcast."  This module implements that ``3*delta`` upper
+bound: Bracha's echo/ready structure (no signatures anywhere) for the
+fast path, with a phase-king BA fallback for BB termination.
+
+    (1) Propose.  Broadcaster sends its value (plain message).
+    (2) Echo.  On the first proposal from the broadcaster's channel,
+        multicast <echo, v>.
+    (3) Ready.  On floor((n+f)/2) + 1 echoes for v, or f + 1 readies for
+        v, multicast <ready, v> (once).
+    (4) Commit.  On n - f readies for v before local 3*Delta + sigma,
+        commit v; in any case set lock = v on the first n - f readies.
+    (5) BA.  At local time 4*Delta + 2*sigma, run phase-king BA on lock;
+        commit its output if not yet committed.  Terminate.
+
+Good case: propose (delta) + echo (delta) + ready (delta) = ``3*delta``,
+one message delay more than the authenticated optimum of Figure 10 —
+exactly the gap the paper leaves open.  Without signatures the channel
+sender is the only authentication, which the simulator provides
+(point-to-point channels); equivocation shows up as conflicting echoes.
+"""
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.errors import ConfigurationError
+from repro.protocols.base import BroadcastParty
+from repro.protocols.phase_king import PhaseKingBa
+from repro.types import BOTTOM, PartyId, Value, validate_resilience
+
+PROPOSE = "u-propose"
+ECHO = "u-echo"
+READY = "u-ready"
+
+
+class BbUnauth3Delta(BroadcastParty):
+    """One party of the unauthenticated 3delta-BB protocol."""
+
+    def __init__(
+        self,
+        world,
+        party_id: PartyId,
+        *,
+        broadcaster: PartyId,
+        input_value: Value | None = None,
+        big_delta: float = 1.0,
+    ):
+        super().__init__(
+            world, party_id, broadcaster=broadcaster, input_value=input_value
+        )
+        validate_resilience(self.n, self.f, requirement="f<n/3")
+        if big_delta <= 0:
+            raise ConfigurationError(f"Delta must be > 0, got {big_delta}")
+        self.big_delta = big_delta
+        self.sigma = big_delta  # conservative in-protocol skew, as usual
+        self.lock: Value = BOTTOM
+        self._echoed = False
+        self._readied = False
+        self._echoes: dict[Value, set[PartyId]] = {}
+        self._readies: dict[Value, set[PartyId]] = {}
+        self._ba = PhaseKingBa(
+            self,
+            tag=("upk", broadcaster),
+            big_delta=big_delta,
+            on_decide=self._on_ba_decide,
+        )
+        self._ba_invoked = False
+
+    @property
+    def echo_threshold(self) -> int:
+        return math.floor((self.n + self.f) / 2) + 1
+
+    @property
+    def commit_deadline(self) -> float:
+        return 3 * self.big_delta + self.sigma
+
+    @property
+    def ba_time(self) -> float:
+        return 4 * self.big_delta + 2 * self.sigma
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def on_start(self) -> None:
+        self.at_local_time(self.ba_time, self._invoke_ba)
+        if self.is_broadcaster:
+            self.multicast((PROPOSE, self.input_value))
+
+    def on_message(self, sender: PartyId, payload: Any) -> None:
+        if self._ba.handle(sender, payload):
+            return
+        if not isinstance(payload, tuple) or len(payload) != 2:
+            return
+        kind, value = payload
+        if kind == PROPOSE and sender == self.broadcaster:
+            self._on_proposal(value)
+        elif kind == ECHO:
+            self._on_echo(sender, value)
+        elif kind == READY:
+            self._on_ready(sender, value)
+
+    # ------------------------------------------------------------------ #
+    # echo / ready / commit
+    # ------------------------------------------------------------------ #
+
+    def _on_proposal(self, value: Value) -> None:
+        if self._echoed:
+            return
+        self._echoed = True
+        self.multicast((ECHO, value))
+
+    def _on_echo(self, sender: PartyId, value: Value) -> None:
+        self._echoes.setdefault(value, set()).add(sender)
+        if len(self._echoes[value]) >= self.echo_threshold:
+            self._send_ready(value)
+
+    def _on_ready(self, sender: PartyId, value: Value) -> None:
+        self._readies.setdefault(value, set()).add(sender)
+        if len(self._readies[value]) >= self.f + 1:
+            self._send_ready(value)
+        if len(self._readies[value]) >= self.n - self.f:
+            if self.lock is BOTTOM:
+                self.lock = value
+            if (
+                not self.has_committed
+                and self.local_time() <= self.commit_deadline
+            ):
+                self.commit(value)
+
+    def _send_ready(self, value: Value) -> None:
+        if self._readied:
+            return
+        self._readied = True
+        self.multicast((READY, value))
+
+    # ------------------------------------------------------------------ #
+    # BA fallback
+    # ------------------------------------------------------------------ #
+
+    def _invoke_ba(self) -> None:
+        if self._ba_invoked or self.terminated:
+            return
+        self._ba_invoked = True
+        self._ba.start(self.lock)
+
+    def _on_ba_decide(self, output: Value) -> None:
+        if not self.has_committed:
+            self.commit(output)
+        self.terminate()

@@ -1,0 +1,310 @@
+"""Dishonest-majority BB (paper Section 5.5, after Wan et al. [34]).
+
+Table 1's last row: for ``n/2 <= f < n`` the good-case latency lower
+bound is ``(floor(n/(n-f)) - 1) * Delta`` and the upper bound — implied by
+the Wan et al. protocol with the paper's fast-path tweak — is about
+``(2n/(n-f)) * Delta``: the broadcaster sends its proposal *directly* (one
+round) and parties **TrustCast** their votes (about ``2n/(n-f)`` rounds).
+
+**TrustCast** (reproduced in :class:`TrustCast` on top of the Dolev-Strong
+chain mechanics): the sender's message travels with a growing signature
+chain; after ``R ~ 2n/(n-f)`` lock-step rounds every honest party either
+delivered a unique message from the sender or *distrusts* the sender.  An
+honest sender is always delivered and never distrusted.
+
+Commit rule (end of the vote phase): commit ``v`` iff the party received
+the proposal ``v`` directly from the broadcaster in round one, has seen no
+broadcaster equivocation, and at least ``h = n - f`` vote instances
+delivered valid votes for ``v`` (a vote is valid only if it embeds the
+broadcaster-signed ``v``).  Since every honest party's vote is delivered
+to every honest party, two honest fast-committers of different values
+would each have seen the other's vote — and hence broadcaster-signed
+conflicting values — so both would have refused: fast commits agree.
+Committers then TrustCast a commit certificate (the ``h`` votes) so
+non-committers adopt the value; parties with no certificate by the final
+deadline commit BOTTOM.
+
+Scope (documented in DESIGN.md): with an *honest* broadcaster — the good
+case Table 1 measures — the protocol is safe and live against any
+follower behaviour, because a conflicting certificate would need a second
+broadcaster-signed value, which does not exist.  A fully Byzantine
+equivocating broadcaster is handled by the equivocation clause in the
+schedules we test, but the multi-epoch randomized machinery of [34]
+(needed for worst-case certified adoption under ``f >= n/2``) is out of
+scope; the paper itself only uses [34] for the upper-bound *shape*.
+Synchronized start is assumed (the paper's C.5 discussion elides skew).
+"""
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.crypto.signatures import SignedPayload
+from repro.protocols.ba import DS_MSG, DolevStrongInstance
+from repro.protocols.base import BroadcastParty
+from repro.types import BOTTOM, PartyId, Value, validate_resilience
+
+PROPOSE = "wan-propose"
+VOTE = "wan-vote"
+CERT = "wan-cert"
+
+
+def trustcast_rounds(n: int, f: int) -> int:
+    """The paper's ``about 2n/(n-f) rounds`` for one TrustCast."""
+    return math.ceil(2 * n / (n - f))
+
+
+class TrustCast:
+    """One TrustCast instance: deliver-or-distrust for a fixed sender."""
+
+    def __init__(self, host, *, tag: Any, sender: PartyId, rounds: int):
+        self.inner = DolevStrongInstance(host, tag=tag, ds_sender=sender)
+        self.sender = sender
+        self.rounds = rounds
+        self._boundaries = 0
+        self.finalized = False
+        self.delivered: Value | None = None
+        self.trusted = True
+
+    def broadcast(self, value: Value) -> None:
+        self.inner.broadcast_value(value)
+
+    def receive_chain(self, chain: SignedPayload) -> None:
+        self.inner.receive_chain(chain, self._boundaries + 1)
+
+    def boundary(self) -> None:
+        if self.finalized:
+            return
+        self._boundaries += 1
+        self.inner.process_boundary(self._boundaries, self.rounds)
+        if self._boundaries >= self.rounds:
+            self.finalized = True
+            extracted = self.inner.extracted
+            if len(extracted) == 1:
+                self.delivered = next(iter(extracted))
+            else:
+                # Nothing arrived, or the sender equivocated: distrust.
+                self.trusted = False
+
+
+class WanStyleBb(BroadcastParty):
+    """One party of the fast-path dishonest-majority BB."""
+
+    def __init__(
+        self,
+        world,
+        party_id: PartyId,
+        *,
+        broadcaster: PartyId,
+        input_value: Value | None = None,
+        big_delta: float = 1.0,
+    ):
+        super().__init__(
+            world, party_id, broadcaster=broadcaster, input_value=input_value
+        )
+        validate_resilience(self.n, self.f, requirement="f<n")
+        self.big_delta = big_delta
+        self.h = self.n - self.f
+        self.tc_rounds = trustcast_rounds(self.n, self.f)
+        self.round_duration = big_delta
+        self.vote_tc = {
+            pid: TrustCast(
+                self, tag=(VOTE, pid), sender=pid, rounds=self.tc_rounds
+            )
+            for pid in range(self.n)
+        }
+        self.cert_tc = {
+            pid: TrustCast(
+                self, tag=(CERT, pid), sender=pid, rounds=self.tc_rounds
+            )
+            for pid in range(self.n)
+        }
+        self.proposal: SignedPayload | None = None
+        self.proposal_value: Value | None = None
+        self.broadcaster_values: set[Value] = set()
+
+    # -- schedule ---------------------------------------------------------
+
+    @property
+    def vote_phase_start(self) -> float:
+        return self.round_duration  # after the direct proposal round
+
+    @property
+    def vote_phase_end(self) -> float:
+        return self.vote_phase_start + self.tc_rounds * self.round_duration
+
+    @property
+    def cert_phase_end(self) -> float:
+        return self.vote_phase_end + self.tc_rounds * self.round_duration
+
+    def on_start(self) -> None:
+        if self.is_broadcaster:
+            self.multicast(self.signer.sign((PROPOSE, self.input_value)))
+        self.at_local_time(self.vote_phase_start, self._start_vote_phase)
+        for k in range(1, self.tc_rounds + 1):
+            self.at_local_time(
+                self.vote_phase_start + k * self.round_duration,
+                lambda: self._phase_boundary(self.vote_tc),
+            )
+            self.at_local_time(
+                self.vote_phase_end + k * self.round_duration,
+                lambda: self._phase_boundary(self.cert_tc),
+            )
+        self.at_local_time(self.vote_phase_end, self._end_vote_phase)
+        self.at_local_time(self.cert_phase_end, self._end_cert_phase)
+
+    # -- message routing ---------------------------------------------------
+
+    def on_message(self, sender: PartyId, payload: Any) -> None:
+        if isinstance(payload, SignedPayload):
+            body = payload.payload
+            if (
+                isinstance(body, tuple)
+                and len(body) == 2
+                and body[0] == PROPOSE
+                and payload.signer == self.broadcaster
+            ):
+                self._on_proposal(payload)
+            return
+        if (
+            isinstance(payload, tuple)
+            and len(payload) == 3
+            and payload[0] == DS_MSG
+        ):
+            _, tag, chain = payload
+            if isinstance(tag, tuple) and len(tag) == 2:
+                kind, pid = tag
+                if kind == VOTE and pid in self.vote_tc:
+                    self.vote_tc[pid].receive_chain(chain)
+                elif kind == CERT and pid in self.cert_tc:
+                    self.cert_tc[pid].receive_chain(chain)
+
+    def _on_proposal(self, proposal: SignedPayload) -> None:
+        self.broadcaster_values.add(proposal.payload[1])
+        if self.proposal is None and self.local_time() <= self.round_duration:
+            self.proposal = proposal
+            self.proposal_value = proposal.payload[1]
+
+    # -- phases ------------------------------------------------------------
+
+    def _start_vote_phase(self) -> None:
+        # The vote is signed by the voter so that certificates can prove
+        # h *distinct* supporters; the proposal may be None (a bottom vote).
+        vote_body = self.signer.sign((VOTE, self.proposal))
+        self.vote_tc[self.id].broadcast(vote_body)
+
+    def _phase_boundary(self, instances: dict[PartyId, TrustCast]) -> None:
+        for instance in instances.values():
+            instance.boundary()
+
+    def _collect_valid_votes(self) -> dict[Value, set[PartyId]]:
+        """Votes delivered by the vote TrustCasts, by embedded value."""
+        votes: dict[Value, set[PartyId]] = {}
+        for pid, instance in self.vote_tc.items():
+            delivered = instance.delivered
+            if not isinstance(delivered, SignedPayload):
+                continue
+            if not self.verify(delivered) or delivered.signer != pid:
+                continue
+            body = delivered.payload
+            if not (
+                isinstance(body, tuple) and len(body) == 2 and body[0] == VOTE
+            ):
+                continue
+            embedded = body[1]
+            if not isinstance(embedded, SignedPayload):
+                continue
+            if not self.verify(embedded):
+                continue
+            inner = embedded.payload
+            if not (
+                isinstance(inner, tuple)
+                and len(inner) == 2
+                and inner[0] == PROPOSE
+                and embedded.signer == self.broadcaster
+            ):
+                continue
+            value = inner[1]
+            self.broadcaster_values.add(value)  # votes carry evidence
+            votes.setdefault(value, set()).add(pid)
+        return votes
+
+    def _end_vote_phase(self) -> None:
+        votes = self._collect_valid_votes()
+        if self.proposal_value is None:
+            return
+        if len(self.broadcaster_values) > 1:
+            return  # equivocation evidence: never fast-commit
+        supporters = votes.get(self.proposal_value, set())
+        if len(supporters) >= self.h and not self.has_committed:
+            self.commit(self.proposal_value)
+            cert_votes = tuple(
+                self.vote_tc[pid].delivered for pid in sorted(supporters)
+            )[: self.h]
+            # delivered values here are the voters' SignedPayload votes.
+            self.cert_tc[self.id].broadcast(
+                (CERT, self.proposal, cert_votes)
+            )
+
+    def _end_cert_phase(self) -> None:
+        if not self.has_committed:
+            adopted = self._adoptable_cert_value()
+            self.commit(adopted if adopted is not None else BOTTOM)
+        self.terminate()
+
+    def _adoptable_cert_value(self) -> Value | None:
+        """The unique certified value, when certification is unambiguous."""
+        values: set[Value] = set()
+        for instance in self.cert_tc.values():
+            delivered = instance.delivered
+            value = self._cert_value(delivered)
+            if value is not None:
+                values.add(value)
+        if len(values) == 1 and len(self.broadcaster_values) <= 1:
+            return next(iter(values))
+        return None
+
+    def _cert_value(self, delivered: Any) -> Value | None:
+        """Validate a certificate: h distinct valid votes for one value."""
+        if not (
+            isinstance(delivered, tuple)
+            and len(delivered) == 3
+            and delivered[0] == CERT
+        ):
+            return None
+        _, proposal, cert_votes = delivered
+        if not isinstance(proposal, SignedPayload) or not self.verify(proposal):
+            return None
+        body = proposal.payload
+        if not (
+            isinstance(body, tuple)
+            and len(body) == 2
+            and body[0] == PROPOSE
+            and proposal.signer == self.broadcaster
+        ):
+            return None
+        value = body[1]
+        voters: set[PartyId] = set()
+        for vote in cert_votes:
+            if not isinstance(vote, SignedPayload) or not self.verify(vote):
+                continue
+            vote_body = vote.payload
+            if not (
+                isinstance(vote_body, tuple)
+                and len(vote_body) == 2
+                and vote_body[0] == VOTE
+            ):
+                continue
+            embedded = vote_body[1]
+            if not isinstance(embedded, SignedPayload):
+                continue
+            if not self.verify(embedded):
+                continue
+            if embedded.payload != (PROPOSE, value):
+                continue
+            if embedded.signer != self.broadcaster:
+                continue
+            voters.add(vote.signer)
+        if len(voters) >= self.h:
+            return value
+        return None

@@ -1,0 +1,46 @@
+"""Deterministic discrete-event simulation substrate."""
+from repro.sim.clock import LocalClock, skewed_offsets
+from repro.sim.delays import (
+    DelayPolicy,
+    FixedDelay,
+    FunctionDelay,
+    GstDelay,
+    PerLinkDelay,
+    UniformDelay,
+)
+from repro.sim.events import Event, EventQueue
+from repro.sim.network import Envelope, Network
+from repro.sim.process import Agent, Party
+from repro.sim.runner import RunResult, World, run_broadcast
+from repro.sim.scheduler import Simulator
+from repro.sim.transcript import (
+    Transcript,
+    TranscriptEntry,
+    first_divergence,
+    indistinguishable,
+)
+
+__all__ = [
+    "Agent",
+    "DelayPolicy",
+    "Envelope",
+    "Event",
+    "EventQueue",
+    "FixedDelay",
+    "FunctionDelay",
+    "GstDelay",
+    "LocalClock",
+    "Network",
+    "Party",
+    "PerLinkDelay",
+    "RunResult",
+    "Simulator",
+    "Transcript",
+    "TranscriptEntry",
+    "UniformDelay",
+    "World",
+    "first_divergence",
+    "indistinguishable",
+    "run_broadcast",
+    "skewed_offsets",
+]

@@ -1,0 +1,163 @@
+"""Message-delay policies: how the adversary schedules the network.
+
+In every timing model of the paper the adversary picks each message's
+delay, subject to the model's constraint:
+
+* synchrony: delays between honest pairs lie in ``[0, delta]`` for the
+  execution's actual bound ``delta`` (``delta <= Delta`` and unknown to the
+  protocol); delays touching a Byzantine party are arbitrary (the Byzantine
+  party can pretend);
+* partial synchrony: arbitrary before GST, ``<= Delta`` after GST;
+* asynchrony: arbitrary but finite for honest pairs.
+
+A :class:`DelayPolicy` maps ``(sender, recipient, payload, send_time)`` to
+a delay.  Scripted policies (:class:`TableDelay`) reproduce the exact delay
+assignments in the paper's lower-bound constructions.
+"""
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Mapping
+
+from repro.types import INF, PartyId
+
+
+class DelayPolicy:
+    """Base interface: decide the delay of a message."""
+
+    def delay(
+        self,
+        sender: PartyId,
+        recipient: PartyId,
+        payload: Any,
+        send_time: float,
+    ) -> float:
+        raise NotImplementedError
+
+    def max_honest_delay(self) -> float:
+        """Upper bound this policy guarantees for honest-pair messages.
+
+        Used by the harness to sanity-check that a policy respects the
+        model's ``delta``.  ``INF`` when no bound is promised.
+        """
+        return INF
+
+
+class FixedDelay(DelayPolicy):
+    """Every message takes exactly ``value`` time units."""
+
+    def __init__(self, value: float):
+        if value < 0:
+            raise ValueError(f"delay must be >= 0, got {value}")
+        self.value = value
+
+    def delay(self, sender, recipient, payload, send_time) -> float:
+        return self.value
+
+    def max_honest_delay(self) -> float:
+        return self.value
+
+
+class UniformDelay(DelayPolicy):
+    """Seeded i.i.d. uniform delays in ``[low, high]``.
+
+    Deterministic given the seed: the random stream depends only on the
+    construction order of queries, which the deterministic simulator fixes.
+    """
+
+    def __init__(self, low: float, high: float, *, seed: int):
+        if not 0 <= low <= high:
+            raise ValueError(f"need 0 <= low <= high, got [{low}, {high}]")
+        self.low = low
+        self.high = high
+        self._rng = random.Random(seed)
+
+    def delay(self, sender, recipient, payload, send_time) -> float:
+        return self._rng.uniform(self.low, self.high)
+
+    def max_honest_delay(self) -> float:
+        return self.high
+
+
+class PerLinkDelay(DelayPolicy):
+    """Fixed delay per directed link, with a default for unlisted links.
+
+    ``links`` maps ``(sender, recipient)`` to a delay (possibly ``INF``).
+    This is the workhorse of the lower-bound constructions, which specify
+    delays like "the delay from C to A is Delta - delta".
+    """
+
+    def __init__(
+        self,
+        links: Mapping[tuple[PartyId, PartyId], float],
+        *,
+        default: float,
+    ):
+        for (sender, recipient), value in links.items():
+            if value < 0:
+                raise ValueError(
+                    f"delay for link {sender}->{recipient} must be >= 0"
+                )
+        if default < 0:
+            raise ValueError(f"default delay must be >= 0, got {default}")
+        self.links = dict(links)
+        self.default = default
+
+    def delay(self, sender, recipient, payload, send_time) -> float:
+        return self.links.get((sender, recipient), self.default)
+
+    def max_honest_delay(self) -> float:
+        finite = [v for v in self.links.values() if v != INF]
+        return max([self.default, *finite])
+
+
+class FunctionDelay(DelayPolicy):
+    """Arbitrary function policy for fully scripted executions."""
+
+    def __init__(
+        self,
+        fn: Callable[[PartyId, PartyId, Any, float], float],
+        *,
+        honest_bound: float = INF,
+    ):
+        self._fn = fn
+        self._honest_bound = honest_bound
+
+    def delay(self, sender, recipient, payload, send_time) -> float:
+        return self._fn(sender, recipient, payload, send_time)
+
+    def max_honest_delay(self) -> float:
+        return self._honest_bound
+
+
+class GstDelay(DelayPolicy):
+    """Partial synchrony: arbitrary before GST, bounded ``Delta`` after.
+
+    ``pre_gst`` decides delays for the asynchronous period; the effective
+    delivery time is capped at ``max(send_time, gst) + Delta``, which is
+    the standard guarantee that every message (including those in flight
+    at GST) arrives within ``Delta`` after GST.
+    """
+
+    def __init__(self, *, gst: float, big_delta: float, pre_gst: DelayPolicy):
+        if gst < 0:
+            raise ValueError(f"GST must be >= 0, got {gst}")
+        if big_delta <= 0:
+            raise ValueError(f"Delta must be > 0, got {big_delta}")
+        self.gst = gst
+        self.big_delta = big_delta
+        self.pre_gst = pre_gst
+
+    def delay(self, sender, recipient, payload, send_time) -> float:
+        latest_delivery = max(send_time, self.gst) + self.big_delta
+        if send_time >= self.gst:
+            requested = min(
+                self.pre_gst.delay(sender, recipient, payload, send_time),
+                self.big_delta,
+            )
+            return requested
+        requested = self.pre_gst.delay(sender, recipient, payload, send_time)
+        return min(send_time + requested, latest_delivery) - send_time
+
+    def max_honest_delay(self) -> float:
+        return self.big_delta

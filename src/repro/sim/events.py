@@ -1,0 +1,86 @@
+"""Event queue for the deterministic discrete-event simulator.
+
+Events are ordered by ``(time, priority, seq)`` where ``seq`` is the
+insertion sequence number.  The sequence number makes tie-breaking fully
+deterministic: two events scheduled for the same instant fire in the order
+they were scheduled.  Lower-bound witnesses depend on this reproducibility
+to compare transcripts byte-for-byte across executions.
+"""
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled callback.  Ordering fields first; payload excluded.
+
+    ``order_key`` canonicalizes ties: two events at the same instant and
+    priority fire in ``order_key`` order (then insertion order).  Message
+    deliveries use the payload digest, so simultaneous deliveries are
+    processed in a content-determined order that is invariant across the
+    paired executions of the lower-bound constructions — the model treats
+    same-instant delivery order as adversary-chosen anyway.
+    """
+
+    time: float
+    priority: int
+    order_key: bytes
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the scheduler skips it when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A deterministic min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def push(
+        self,
+        time: float,
+        action: Callable[[], None],
+        *,
+        priority: int = 0,
+        order_key: bytes = b"",
+        label: str = "",
+    ) -> Event:
+        """Schedule ``action`` at ``time``; returns a cancellable handle."""
+        event = Event(
+            time, priority, order_key, next(self._counter), action,
+            label=label,
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event | None:
+        """Remove and return the earliest non-cancelled event, or ``None``."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> float | None:
+        """Time of the earliest pending event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if self._heap:
+            return self._heap[0].time
+        return None
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def __bool__(self) -> bool:
+        return self.peek_time() is not None

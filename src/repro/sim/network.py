@@ -1,0 +1,184 @@
+"""Message transport between parties, mediated by a delay policy.
+
+The network realizes the paper's adversarial message scheduling:
+
+* every message's delay comes from the :class:`~repro.sim.delays.DelayPolicy`
+  (the adversary's schedule);
+* messages touching a Byzantine endpoint may additionally carry an explicit
+  per-message ``delay_override`` (Byzantine parties "postpone sending or
+  reading" to simulate arbitrary delays, including infinity);
+* messages that arrive before the recipient has started its protocol are
+  buffered and handed over at the recipient's start (local time 0).
+
+Deliveries are recorded as atomic steps with the
+:class:`~repro.sim.rounds.RoundAccountant` so that asynchronous round
+latency (Definitions 9-10) can be computed after the run.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+from repro.crypto.messages import digest
+from repro.sim.clock import quantize
+from repro.sim.delays import DelayPolicy
+from repro.sim.rounds import RoundAccountant
+from repro.sim.scheduler import Simulator
+from repro.types import INF, PartyId
+
+#: Delivery callback: (sender, payload) -> None
+DeliverFn = Callable[[PartyId, Any], None]
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A message in flight (recorded for statistics and debugging)."""
+
+    sender: PartyId
+    recipient: PartyId
+    payload: Any
+    send_time: float
+    deliver_time: float
+
+
+class Network:
+    """Point-to-point transport with adversary-scheduled delays."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        policy: DelayPolicy,
+        *,
+        n: int,
+        byzantine: frozenset[PartyId] = frozenset(),
+        start_offsets: list[float] | None = None,
+        accountant: RoundAccountant | None = None,
+        record_envelopes: bool = False,
+    ):
+        self._sim = sim
+        self._policy = policy
+        self._n = n
+        self._byzantine = byzantine
+        self._start_offsets = start_offsets or [0.0] * n
+        if len(self._start_offsets) != n:
+            raise SimulationError("start_offsets length must equal n")
+        self._inboxes: dict[PartyId, DeliverFn] = {}
+        self._accountant = accountant
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.envelopes: list[Envelope] = []
+        self._record = record_envelopes
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def attach(self, party: PartyId, deliver: DeliverFn) -> None:
+        """Register the delivery callback for ``party``."""
+        if party in self._inboxes:
+            raise SimulationError(f"party {party} already attached")
+        self._inboxes[party] = deliver
+
+    def send(
+        self,
+        sender: PartyId,
+        recipient: PartyId,
+        payload: Any,
+        *,
+        delay_override: float | None = None,
+    ) -> None:
+        """Send one message; the adversary's policy decides its delay.
+
+        ``delay_override`` is only legal when the sender or the recipient
+        is Byzantine (the model lets the adversary choose any delay on
+        links touching a corrupted party).  ``INF`` drops the message.
+        """
+        if not 0 <= recipient < self._n:
+            raise SimulationError(f"recipient {recipient} out of range")
+        send_time = self._sim.now
+        if delay_override is not None:
+            if sender not in self._byzantine and recipient not in self._byzantine:
+                raise SimulationError(
+                    "delay overrides require a Byzantine endpoint "
+                    f"({sender}->{recipient} are both honest)"
+                )
+            delay = delay_override
+        else:
+            delay = self._policy.delay(sender, recipient, payload, send_time)
+        self.messages_sent += 1
+        if delay == INF:
+            return
+        if delay < 0:
+            raise SimulationError(f"policy produced negative delay {delay}")
+        deliver_time = quantize(
+            max(send_time + delay, self._start_offsets[recipient])
+        )
+        self._schedule_delivery(sender, recipient, payload, deliver_time)
+
+    def multicast(
+        self,
+        sender: PartyId,
+        payload: Any,
+        *,
+        include_self: bool = True,
+        delay_override: float | None = None,
+    ) -> None:
+        """Send ``payload`` to every party (optionally excluding sender).
+
+        Self-delivery is immediate (a party always "hears" itself with
+        zero delay), matching the convention the paper uses when counting
+        quorums that include the sender's own vote.
+        """
+        for recipient in range(self._n):
+            if recipient == sender:
+                continue
+            self.send(
+                sender, recipient, payload, delay_override=delay_override
+            )
+        if include_self:
+            self.messages_sent += 1
+            self._schedule_delivery(sender, sender, payload, self._sim.now)
+
+    def _schedule_delivery(
+        self,
+        sender: PartyId,
+        recipient: PartyId,
+        payload: Any,
+        deliver_time: float,
+    ) -> None:
+        msg_id = (
+            self._accountant.register_send()
+            if self._accountant is not None
+            else None
+        )
+        if self._record:
+            self.envelopes.append(
+                Envelope(sender, recipient, payload, self._sim.now, deliver_time)
+            )
+        self._sim.schedule_at(
+            deliver_time,
+            lambda: self._deliver(sender, recipient, payload, msg_id),
+            order_key=digest(payload),
+            label=f"deliver {sender}->{recipient}",
+        )
+
+    def _deliver(
+        self,
+        sender: PartyId,
+        recipient: PartyId,
+        payload: Any,
+        msg_id: int | None,
+    ) -> None:
+        inbox = self._inboxes.get(recipient)
+        if inbox is None:
+            return  # recipient never attached (e.g. crashed from the start)
+        self.messages_delivered += 1
+        if self._accountant is not None and msg_id is not None:
+            self._accountant.begin_delivery_step(recipient, msg_id)
+            try:
+                inbox(sender, payload)
+            finally:
+                self._accountant.end_step()
+        else:
+            inbox(sender, payload)

@@ -1,0 +1,174 @@
+"""Party runtime: the base classes protocols and adversaries extend.
+
+:class:`Agent` is the minimal interface the world knows about (start +
+deliver).  :class:`Party` adds everything an *honest* protocol participant
+needs: a local clock, signing, timers in local time, commit/terminate
+bookkeeping and transcript recording.  Asynchronous-round latency is
+computed post-hoc by :class:`~repro.sim.rounds.RoundAccountant`; a party
+only records the atomic step at which it committed.
+"""
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.errors import SimulationError
+from repro.sim.clock import LocalClock
+from repro.sim.events import Event
+from repro.sim.transcript import Transcript
+from repro.types import PartyId, Value
+
+if TYPE_CHECKING:
+    from repro.sim.runner import World
+
+
+class Agent:
+    """Anything attached to the network: honest party or Byzantine shell."""
+
+    def __init__(self, world: "World", party_id: PartyId):
+        self.world = world
+        self.id = party_id
+
+    def start(self) -> None:
+        """Called once, at the agent's start offset."""
+
+    def deliver(self, sender: PartyId, payload: Any) -> None:
+        """Called by the network on message arrival."""
+
+
+class Party(Agent):
+    """Base class for honest protocol participants."""
+
+    def __init__(self, world: "World", party_id: PartyId):
+        super().__init__(world, party_id)
+        self.n = world.n
+        self.f = world.f
+        self.clock = LocalClock(world.start_offsets[party_id])
+        self.signer = world.registry.signer_for(party_id)
+        self.registry = world.registry
+        self.transcript = Transcript(party_id)
+        self.committed_value: Value | None = None
+        self.has_committed = False
+        self.commit_global_time: float | None = None
+        self.commit_local_time: float | None = None
+        self.commit_step: int | None = None
+        self.terminated = False
+        self._timers: list[Event] = []
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> None:
+        self.transcript.record_start(0.0)
+        self.on_start()
+
+    def deliver(self, sender: PartyId, payload: Any) -> None:
+        self.transcript.record_recv(self.local_time(), sender, payload)
+        if self.terminated:
+            return
+        self.on_message(sender, payload)
+
+    def on_start(self) -> None:
+        """Protocol hook: runs at local time 0."""
+
+    def on_message(self, sender: PartyId, payload: Any) -> None:
+        """Protocol hook: runs on every delivered message until terminated."""
+
+    # ------------------------------------------------------------------ #
+    # services
+    # ------------------------------------------------------------------ #
+
+    def local_time(self) -> float:
+        return self.clock.local_time(self.world.sim.now)
+
+    def send(self, recipient: PartyId, payload: Any) -> None:
+        self.world.network.send(self.id, recipient, payload)
+
+    def multicast(self, payload: Any, *, include_self: bool = True) -> None:
+        self.world.network.multicast(
+            self.id, payload, include_self=include_self
+        )
+
+    def sign(self, payload: Any):
+        return self.signer.sign(payload)
+
+    def verify(self, signed) -> bool:
+        return self.registry.verify(signed)
+
+    def at_local_time(
+        self,
+        local_time: float,
+        action: Callable[[], None],
+        *,
+        priority: int = 1,
+    ) -> Event:
+        """Run ``action`` when the local clock reads ``local_time``.
+
+        If that instant is already past, runs at the current instant (the
+        protocols use this for "check condition X at/after time t" steps).
+
+        Timers default to priority 1 so that a message delivery scheduled
+        for the same instant is processed first: a message arriving
+        exactly at a protocol deadline counts as arriving *within* the
+        window the deadline closes, matching the closed time intervals in
+        the paper's protocol descriptions ("within time t", "until local
+        time t").
+        """
+        target = self.clock.global_time(local_time)
+        target = max(target, self.world.sim.now)
+        event = self.world.sim.schedule_at(
+            target,
+            self._guarded(action),
+            priority=priority,
+            label=f"p{self.id} timer@{local_time}",
+        )
+        self._timers.append(event)
+        return event
+
+    def after_local_delay(self, delay: float, action: Callable[[], None]) -> Event:
+        if delay < 0:
+            raise SimulationError(f"negative timer delay {delay}")
+        return self.at_local_time(self.local_time() + delay, action)
+
+    def _guarded(self, action: Callable[[], None]) -> Callable[[], None]:
+        def run() -> None:
+            if not self.terminated:
+                action()
+
+        return run
+
+    # ------------------------------------------------------------------ #
+    # outcomes
+    # ------------------------------------------------------------------ #
+
+    def commit(self, value: Value) -> None:
+        """Record this party's (first) commit.  Later commits are ignored.
+
+        The harness checks agreement/validity over recorded commits; a
+        party attempting to commit twice with different values would be a
+        protocol bug, surfaced by the harness's consistency check, so we
+        keep the first and record the attempt count.
+        """
+        if self.has_committed:
+            return
+        self.has_committed = True
+        self.committed_value = value
+        self.commit_global_time = self.world.sim.now
+        self.commit_local_time = self.local_time()
+        accountant = getattr(self.world, "accountant", None)
+        if accountant is not None:
+            step = accountant.current_step
+            if step is None:
+                step = accountant.last_step_index()
+            self.commit_step = step
+        self.transcript.record_commit(self.local_time(), value)
+        self.world.note_commit(self.id)
+
+    def terminate(self) -> None:
+        """Stop reacting to messages and cancel pending timers."""
+        if self.terminated:
+            return
+        self.terminated = True
+        for event in self._timers:
+            event.cancel()
+        self._timers.clear()

@@ -1,0 +1,220 @@
+"""World construction and result collection.
+
+A :class:`World` bundles one simulated execution: the simulator kernel, the
+PKI, the network (with its adversarial delay policy), the honest parties
+(instances of a protocol's :class:`~repro.sim.process.Party` subclass) and
+the Byzantine agents (adversary behaviors).  :func:`run_broadcast` is the
+one-call harness used by tests, examples and benchmarks.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.crypto.signatures import KeyRegistry
+from repro.errors import ConfigurationError
+from repro.sim.delays import DelayPolicy, FixedDelay
+from repro.sim.network import Network
+from repro.sim.process import Agent, Party
+from repro.sim.rounds import RoundAccountant
+from repro.sim.scheduler import Simulator
+from repro.types import PartyId, Value
+
+#: Builds an honest party: (world, party_id) -> Party
+PartyFactory = Callable[["World", PartyId], Party]
+#: Builds a Byzantine agent: (world, party_id) -> Agent
+BehaviorFactory = Callable[["World", PartyId], Agent]
+
+
+class World:
+    """One execution: kernel + PKI + network + agents + outcome records."""
+
+    def __init__(
+        self,
+        *,
+        n: int,
+        f: int,
+        delay_policy: DelayPolicy,
+        byzantine: frozenset[PartyId] = frozenset(),
+        start_offsets: list[float] | None = None,
+        record_envelopes: bool = False,
+    ):
+        if len(byzantine) > f:
+            raise ConfigurationError(
+                f"{len(byzantine)} corrupted parties exceeds the budget f={f}"
+            )
+        if any(not 0 <= b < n for b in byzantine):
+            raise ConfigurationError("byzantine party id out of range")
+        self.n = n
+        self.f = f
+        self.byzantine = byzantine
+        self.start_offsets = start_offsets or [0.0] * n
+        if len(self.start_offsets) != n:
+            raise ConfigurationError("start_offsets length must equal n")
+        self.sim = Simulator()
+        self.registry = KeyRegistry(n)
+        self.accountant = RoundAccountant()
+        self.network = Network(
+            self.sim,
+            delay_policy,
+            n=n,
+            byzantine=byzantine,
+            start_offsets=self.start_offsets,
+            accountant=self.accountant,
+            record_envelopes=record_envelopes,
+        )
+        self.agents: dict[PartyId, Agent] = {}
+        self.commit_order: list[PartyId] = []
+        self.extras: dict[str, Any] = {}
+
+    @property
+    def honest_ids(self) -> list[PartyId]:
+        return [p for p in range(self.n) if p not in self.byzantine]
+
+    def honest_parties(self) -> list[Party]:
+        return [
+            agent
+            for pid, agent in sorted(self.agents.items())
+            if pid not in self.byzantine and isinstance(agent, Party)
+        ]
+
+    def populate(
+        self,
+        party_factory: PartyFactory,
+        behavior_factory: BehaviorFactory | None = None,
+    ) -> None:
+        """Instantiate agents, attach them to the network, schedule starts.
+
+        Byzantine ids with no ``behavior_factory`` become *crash-from-start*
+        parties (never attached: all their messages vanish), the weakest
+        adversary.
+        """
+        for pid in range(self.n):
+            if pid in self.byzantine:
+                if behavior_factory is None:
+                    continue
+                agent = behavior_factory(self, pid)
+            else:
+                agent = party_factory(self, pid)
+            self.agents[pid] = agent
+            self.network.attach(pid, agent.deliver)
+            self.sim.schedule_at(
+                self.start_offsets[pid],
+                lambda a=agent, p=pid: self._run_start_step(a, p),
+                label=f"start p{pid}",
+            )
+
+    def _run_start_step(self, agent: Agent, pid: PartyId) -> None:
+        self.accountant.begin_start_step(pid)
+        try:
+            agent.start()
+        finally:
+            self.accountant.end_step()
+
+    def note_commit(self, party: PartyId) -> None:
+        self.commit_order.append(party)
+
+    def run(
+        self, *, until: float | None = None, max_events: int | None = None
+    ) -> "RunResult":
+        self.sim.run(until=until, max_events=max_events)
+        return self.result()
+
+    def result(self) -> "RunResult":
+        honest = self.honest_parties()
+        commit_rounds = {}
+        for party in honest:
+            if party.has_committed and party.commit_step is not None:
+                commit_rounds[party.id] = self.accountant.round_of_step(
+                    party.commit_step
+                )
+        return RunResult(
+            n=self.n,
+            f=self.f,
+            byzantine=self.byzantine,
+            commits={
+                p.id: p.committed_value for p in honest if p.has_committed
+            },
+            commit_global_times={
+                p.id: p.commit_global_time for p in honest if p.has_committed
+            },
+            commit_rounds=commit_rounds,
+            start_offsets=list(self.start_offsets),
+            messages_sent=self.network.messages_sent,
+            final_time=self.sim.now,
+        )
+
+
+@dataclass
+class RunResult:
+    """Outcome of one execution, as seen by the harness."""
+
+    n: int
+    f: int
+    byzantine: frozenset[PartyId]
+    commits: dict[PartyId, Value]
+    commit_global_times: dict[PartyId, float]
+    commit_rounds: dict[PartyId, int]
+    start_offsets: list[float] = field(default_factory=list)
+    messages_sent: int = 0
+    final_time: float = 0.0
+
+    @property
+    def honest_ids(self) -> list[PartyId]:
+        return [p for p in range(self.n) if p not in self.byzantine]
+
+    def all_honest_committed(self) -> bool:
+        return all(p in self.commits for p in self.honest_ids)
+
+    def agreement_holds(self) -> bool:
+        values = set(self.commits.values())
+        return len(values) <= 1
+
+    def committed_value(self) -> Value:
+        """The unique committed value; raises if none or disagreement."""
+        values = set(self.commits.values())
+        if len(values) != 1:
+            raise ValueError(f"no unique committed value: {values}")
+        return next(iter(values))
+
+    def latency_from(self, origin_time: float) -> float:
+        """Good-case latency per Definition 6: max commit time - origin.
+
+        ``origin_time`` is when the broadcaster started its protocol.
+        Raises if some honest party never committed.
+        """
+        if not self.all_honest_committed():
+            missing = [p for p in self.honest_ids if p not in self.commits]
+            raise ValueError(f"honest parties never committed: {missing}")
+        return max(self.commit_global_times.values()) - origin_time
+
+    def round_latency(self) -> int:
+        """Good-case latency in Canetti-Rabin rounds (Definitions 7-8)."""
+        if not self.all_honest_committed():
+            missing = [p for p in self.honest_ids if p not in self.commits]
+            raise ValueError(f"honest parties never committed: {missing}")
+        return max(self.commit_rounds.values())
+
+
+def run_broadcast(
+    *,
+    n: int,
+    f: int,
+    party_factory: PartyFactory,
+    delay_policy: DelayPolicy | None = None,
+    byzantine: frozenset[PartyId] = frozenset(),
+    behavior_factory: BehaviorFactory | None = None,
+    start_offsets: list[float] | None = None,
+    until: float | None = None,
+    max_events: int | None = None,
+) -> RunResult:
+    """Build a world, run it to quiescence (or a horizon), return results."""
+    world = World(
+        n=n,
+        f=f,
+        delay_policy=delay_policy or FixedDelay(1.0),
+        byzantine=byzantine,
+        start_offsets=start_offsets,
+    )
+    world.populate(party_factory, behavior_factory)
+    return world.run(until=until, max_events=max_events)

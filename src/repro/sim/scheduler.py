@@ -1,0 +1,102 @@
+"""The simulation kernel: virtual time plus the event loop.
+
+``Simulator`` owns the global virtual clock.  Everything else (networks,
+parties, adversaries, timers) schedules callbacks on it.  Time is a float
+in abstract "delay units"; the paper's ``Delta`` and ``delta`` are plain
+parameters in those units.
+"""
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import SimulationError
+from repro.sim.events import Event, EventQueue
+
+
+class Simulator:
+    """Deterministic discrete-event simulation kernel."""
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._running = False
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current global virtual time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    def schedule_at(
+        self,
+        time: float,
+        action: Callable[[], None],
+        *,
+        priority: int = 0,
+        order_key: bytes = b"",
+        label: str = "",
+    ) -> Event:
+        """Schedule ``action`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time} before now={self._now}"
+            )
+        return self._queue.push(
+            time, action, priority=priority, order_key=order_key, label=label
+        )
+
+    def schedule_after(
+        self,
+        delay: float,
+        action: Callable[[], None],
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``action`` after a relative ``delay >= 0``."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule_at(
+            self._now + delay, action, priority=priority, label=label
+        )
+
+    def run(
+        self, *, until: float | None = None, max_events: int | None = None
+    ) -> float:
+        """Process events in time order.
+
+        Stops when the queue drains, when virtual time would exceed
+        ``until``, or after ``max_events`` events.  Returns the final
+        virtual time.
+        """
+        if self._running:
+            raise SimulationError("simulator is not re-entrant")
+        self._running = True
+        processed = 0
+        try:
+            while True:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                if max_events is not None and processed >= max_events:
+                    break
+                event = self._queue.pop()
+                assert event is not None
+                self._now = event.time
+                event.action()
+                processed += 1
+                self._events_processed += 1
+        finally:
+            self._running = False
+        return self._now
+
+    def pending_events(self) -> int:
+        """Number of events still queued (excluding cancelled)."""
+        return len(self._queue)

@@ -1,0 +1,132 @@
+"""Per-party local histories and machine-checked indistinguishability.
+
+The paper's lower bounds all use the standard indistinguishability
+argument: an honest party that has the same initial state and receives the
+same messages at the same *local* times behaves identically in two
+executions.  We record each party's receive history as
+``(local_time, sender, payload_digest)`` triples (plus start/commit
+markers) so witnesses can assert transcript equality up to a cut-off,
+turning the proofs' central claims into executable checks.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.crypto.messages import digest
+from repro.types import PartyId
+
+
+@dataclass(frozen=True)
+class TranscriptEntry:
+    """One observable event in a party's local history."""
+
+    local_time: float
+    kind: str  # "start" | "recv" | "commit"
+    counterpart: PartyId | None
+    payload_digest: bytes | None
+
+    def __repr__(self) -> str:
+        tail = self.payload_digest.hex()[:8] if self.payload_digest else "-"
+        return (
+            f"[{self.local_time:.4f} {self.kind}"
+            f" p{self.counterpart if self.counterpart is not None else '-'}"
+            f" {tail}]"
+        )
+
+
+@dataclass
+class Transcript:
+    """The recorded local history of one party."""
+
+    party: PartyId
+    entries: list[TranscriptEntry] = field(default_factory=list)
+
+    def record_start(self, local_time: float) -> None:
+        self.entries.append(TranscriptEntry(local_time, "start", None, None))
+
+    def record_recv(
+        self, local_time: float, sender: PartyId, payload: Any
+    ) -> None:
+        self.entries.append(
+            TranscriptEntry(local_time, "recv", sender, digest(payload))
+        )
+
+    def record_commit(self, local_time: float, value: Any) -> None:
+        self.entries.append(
+            TranscriptEntry(local_time, "commit", None, digest(value))
+        )
+
+    def receives_before(self, local_cutoff: float) -> list[TranscriptEntry]:
+        """Receive events strictly before ``local_cutoff`` (local clock).
+
+        Deliveries that share a local timestamp are sorted canonically:
+        within one instant the scheduler's processing order is an artifact
+        of the event heap, not of the execution the adversary built (the
+        model lets the adversary order simultaneous deliveries freely).
+        """
+        entries = [
+            entry
+            for entry in self.entries
+            if entry.kind == "recv" and entry.local_time < local_cutoff
+        ]
+        return sorted(
+            entries,
+            key=lambda e: (
+                e.local_time,
+                -1 if e.counterpart is None else e.counterpart,
+                e.payload_digest or b"",
+            ),
+        )
+
+
+def indistinguishable(
+    a: Transcript,
+    b: Transcript,
+    *,
+    local_cutoff: float,
+    compare: str = "channel",
+) -> bool:
+    """True iff two transcripts' receive histories match before a cutoff.
+
+    ``compare="channel"`` (default) matches
+    ``(local_time, sender, payload_digest)`` — the party received the same
+    messages from the same channels at the same local times.
+
+    ``compare="content"`` drops the channel sender and matches
+    ``(local_time, payload_digest)`` only.  This is the right notion for
+    protocols that authenticate by signature and never read the physical
+    channel (most of the paper's constructions route the *same signed
+    message* through different parties in the paired executions).
+
+    For a deterministic protocol, matching histories imply identical
+    behaviour up to the cutoff — the paper's indistinguishability notion.
+    """
+    entries_a = a.receives_before(local_cutoff)
+    entries_b = b.receives_before(local_cutoff)
+    if compare == "channel":
+        return entries_a == entries_b
+    if compare == "content":
+        def project(entries):
+            return sorted(
+                (e.local_time, e.payload_digest) for e in entries
+            )
+
+        return project(entries_a) == project(entries_b)
+    raise ValueError(f"unknown comparison mode {compare!r}")
+
+
+def first_divergence(
+    a: Transcript, b: Transcript
+) -> tuple[TranscriptEntry | None, TranscriptEntry | None] | None:
+    """First differing receive entries (for debugging witnesses)."""
+    recv_a = [e for e in a.entries if e.kind == "recv"]
+    recv_b = [e for e in b.entries if e.kind == "recv"]
+    for entry_a, entry_b in zip(recv_a, recv_b):
+        if entry_a != entry_b:
+            return entry_a, entry_b
+    if len(recv_a) != len(recv_b):
+        longer = recv_a if len(recv_a) > len(recv_b) else recv_b
+        extra = longer[min(len(recv_a), len(recv_b))]
+        return (extra, None) if longer is recv_a else (None, extra)
+    return None

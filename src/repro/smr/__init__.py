@@ -1,0 +1,11 @@
+"""BFT state machine replication built from the paper's broadcast."""
+from repro.smr.replica import SmrReplica, smr_factory
+from repro.smr.state_machine import Counter, KeyValueStore, StateMachine
+
+__all__ = [
+    "Counter",
+    "KeyValueStore",
+    "SmrReplica",
+    "StateMachine",
+    "smr_factory",
+]

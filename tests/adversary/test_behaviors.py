@@ -1,0 +1,272 @@
+"""Tests for Byzantine behavior plug-ins."""
+import pytest
+
+from repro.adversary.behaviors import (
+    CrashBehavior,
+    FilteredHonestBehavior,
+    ScriptStep,
+    ScriptedBehavior,
+    SplitBrainBehavior,
+    fixed_delay_toward,
+    pass_all,
+    silent_toward,
+)
+from repro.adversary.broadcaster import equivocating_broadcaster
+from repro.sim.delays import FixedDelay
+from repro.sim.process import Party
+from repro.sim.runner import World
+
+
+class Gossip(Party):
+    """Broadcaster (id 0) multicasts its input; everyone records receipt."""
+
+    def __init__(self, world, pid, input_value=None):
+        super().__init__(world, pid)
+        self.input_value = input_value
+        self.heard = {}
+
+    def on_start(self):
+        if self.input_value is not None:
+            self.multicast(("val", self.input_value), include_self=False)
+
+    def on_message(self, sender, payload):
+        if payload[0] == "val":
+            self.heard[sender] = payload[1]
+
+
+def gossip_factory(world, pid):
+    value = "v0" if pid == 0 else None
+    return Gossip(world, pid, input_value=value)
+
+
+class TestCrashBehavior:
+    def test_crashed_party_sends_nothing(self):
+        world = World(
+            n=3, f=1, delay_policy=FixedDelay(1.0), byzantine=frozenset({0})
+        )
+        world.populate(gossip_factory, CrashBehavior)
+        world.run()
+        assert world.agents[1].heard == {}
+        assert world.agents[2].heard == {}
+
+
+class TestScriptedBehavior:
+    def test_script_plays_back_with_chosen_delays(self):
+        def script(behavior):
+            return [
+                ScriptStep(time=1.0, recipient=1, payload=("val", "x")),
+                ScriptStep(
+                    time=1.0, recipient=2, payload=("val", "y"), delay=3.0
+                ),
+            ]
+
+        world = World(
+            n=3, f=1, delay_policy=FixedDelay(1.0), byzantine=frozenset({0})
+        )
+        world.populate(
+            gossip_factory,
+            lambda w, pid: ScriptedBehavior(w, pid, script_builder=script),
+        )
+        world.run()
+        assert world.agents[1].heard == {0: "x"}
+        assert world.agents[2].heard == {0: "y"}
+        # Delay override of 3.0: delivered at t=4.
+        recvs = [
+            e for e in world.agents[2].transcript.entries if e.kind == "recv"
+        ]
+        assert recvs[0].local_time == 4.0
+
+    def test_script_can_sign_with_own_key(self):
+        captured = {}
+
+        class Verifier(Gossip):
+            def on_message(self, sender, payload):
+                captured[self.id] = self.verify(payload)
+
+        def script(behavior):
+            return [
+                ScriptStep(
+                    time=0.0, recipient=1, payload=behavior.signer.sign("m")
+                )
+            ]
+
+        world = World(
+            n=2, f=1, delay_policy=FixedDelay(1.0), byzantine=frozenset({0})
+        )
+        world.populate(
+            lambda w, pid: Verifier(w, pid),
+            lambda w, pid: ScriptedBehavior(w, pid, script_builder=script),
+        )
+        world.run()
+        assert captured[1] is True
+
+
+class TestFilteredHonestBehavior:
+    def test_pass_all_is_honest_equivalent(self):
+        world = World(
+            n=3, f=1, delay_policy=FixedDelay(1.0), byzantine=frozenset({0})
+        )
+        world.populate(
+            gossip_factory,
+            lambda w, pid: FilteredHonestBehavior(
+                w, pid, party_factory=gossip_factory, send_filter=pass_all
+            ),
+        )
+        world.run()
+        assert world.agents[1].heard == {0: "v0"}
+        assert world.agents[2].heard == {0: "v0"}
+
+    def test_silent_toward_group(self):
+        world = World(
+            n=4, f=1, delay_policy=FixedDelay(1.0), byzantine=frozenset({0})
+        )
+        world.populate(
+            gossip_factory,
+            lambda w, pid: FilteredHonestBehavior(
+                w,
+                pid,
+                party_factory=gossip_factory,
+                send_filter=silent_toward(frozenset({1, 2})),
+            ),
+        )
+        world.run()
+        assert world.agents[1].heard == {}
+        assert world.agents[2].heard == {}
+        assert world.agents[3].heard == {0: "v0"}
+
+    def test_fixed_delay_toward(self):
+        world = World(
+            n=3, f=1, delay_policy=FixedDelay(1.0), byzantine=frozenset({0})
+        )
+        world.populate(
+            gossip_factory,
+            lambda w, pid: FilteredHonestBehavior(
+                w,
+                pid,
+                party_factory=gossip_factory,
+                send_filter=fixed_delay_toward({1: 5.0}),
+            ),
+        )
+        world.run()
+        recvs1 = [
+            e for e in world.agents[1].transcript.entries if e.kind == "recv"
+        ]
+        recvs2 = [
+            e for e in world.agents[2].transcript.entries if e.kind == "recv"
+        ]
+        assert recvs1[0].local_time == 5.0
+        assert recvs2[0].local_time == 1.0  # default: policy delay
+
+    def test_inner_party_can_receive(self):
+        # Byzantine wrapping honest logic still processes incoming messages.
+        class Repeater(Gossip):
+            def on_message(self, sender, payload):
+                super().on_message(sender, payload)
+                if payload[0] == "val" and self.id != 0:
+                    self.multicast(("echo", self.id), include_self=False)
+
+        world = World(
+            n=3, f=1, delay_policy=FixedDelay(1.0), byzantine=frozenset({1})
+        )
+        echo_seen = {}
+
+        class Listener(Gossip):
+            def on_message(self, sender, payload):
+                super().on_message(sender, payload)
+                if payload[0] == "echo":
+                    echo_seen[self.id] = sender
+
+        def honest_factory(w, pid):
+            value = "v0" if pid == 0 else None
+            return Listener(w, pid, input_value=value)
+
+        world.populate(
+            honest_factory,
+            lambda w, pid: FilteredHonestBehavior(
+                w,
+                pid,
+                party_factory=lambda iw, ipid: Repeater(iw, ipid),
+                send_filter=pass_all,
+            ),
+        )
+        world.run()
+        assert echo_seen.get(2) == 1
+
+
+class TestSplitBrainEquivocation:
+    def test_two_brains_send_different_values(self):
+        behavior_factory = equivocating_broadcaster(
+            make_broadcaster=lambda w, pid, v: Gossip(w, pid, input_value=v),
+            groups={"zero": frozenset({1}), "one": frozenset({2})},
+        )
+        world = World(
+            n=3, f=1, delay_policy=FixedDelay(1.0), byzantine=frozenset({0})
+        )
+        world.populate(gossip_factory, behavior_factory)
+        world.run()
+        assert world.agents[1].heard == {0: "zero"}
+        assert world.agents[2].heard == {0: "one"}
+
+    def test_uncovered_party_hears_nothing(self):
+        behavior_factory = equivocating_broadcaster(
+            make_broadcaster=lambda w, pid, v: Gossip(w, pid, input_value=v),
+            groups={"zero": frozenset({1})},
+        )
+        world = World(
+            n=3, f=1, delay_policy=FixedDelay(1.0), byzantine=frozenset({0})
+        )
+        world.populate(gossip_factory, behavior_factory)
+        world.run()
+        assert world.agents[2].heard == {}
+
+    def test_overlapping_groups_rejected(self):
+        with pytest.raises(ValueError):
+            equivocating_broadcaster(
+                make_broadcaster=lambda w, pid, v: Gossip(w, pid, v),
+                groups={
+                    "a": frozenset({1, 2}),
+                    "b": frozenset({2, 3}),
+                },
+            )
+
+    def test_brains_share_one_signing_key(self):
+        # Equivocating signatures must verify (it is the corrupted party's
+        # own key) — that is exactly what equivocation detection detects.
+        class SignedGossip(Gossip):
+            def on_start(self):
+                if self.input_value is not None:
+                    self.multicast(
+                        self.sign(("val", self.input_value)),
+                        include_self=False,
+                    )
+
+            def on_message(self, sender, payload):
+                if self.verify(payload):
+                    self.heard[sender] = payload.payload[1]
+
+        behavior_factory = equivocating_broadcaster(
+            make_broadcaster=lambda w, pid, v: SignedGossip(
+                w, pid, input_value=v
+            ),
+            groups={"x": frozenset({1}), "y": frozenset({2})},
+        )
+        world = World(
+            n=3, f=1, delay_policy=FixedDelay(1.0), byzantine=frozenset({0})
+        )
+        world.populate(
+            lambda w, pid: SignedGossip(w, pid), behavior_factory
+        )
+        world.run()
+        assert world.agents[1].heard == {0: "x"}
+        assert world.agents[2].heard == {0: "y"}
+
+
+class TestByzantineBudget:
+    def test_budget_enforced(self):
+        with pytest.raises(Exception):
+            World(
+                n=3,
+                f=0,
+                delay_policy=FixedDelay(1.0),
+                byzantine=frozenset({0}),
+            )

@@ -1,0 +1,126 @@
+"""Tests for the Table 1 generator and the figure sweeps."""
+import pytest
+
+from repro.analysis import (
+    format_table,
+    generate_table1,
+    sweep_async_rounds,
+    sweep_dishonest_majority,
+    sweep_fig9_tradeoff,
+    sweep_sync_regimes,
+)
+
+
+@pytest.fixture(scope="module")
+def table1():
+    return generate_table1(delta=0.25, big_delta=1.0)
+
+
+class TestTable1:
+    def test_has_all_eight_rows(self, table1):
+        assert len(table1) == 8
+
+    def test_every_row_matches_the_paper(self, table1):
+        for row in table1:
+            assert row.matches, f"row mismatch: {row}"
+
+    def test_round_rows(self, table1):
+        rounds = {
+            row.resilience: row.measured
+            for row in table1
+            if "round" in row.bound
+        }
+        assert rounds["n >= 3f+1"] == "2 rounds"
+        assert rounds["n >= 5f-1"] == "2 rounds"
+        assert rounds["3f+1 <= n <= 5f-2"] == "3 rounds"
+
+    def test_sync_rows_numeric(self, table1):
+        by_bound = {row.bound: float(row.measured) for row in table1
+                    if row.timing.startswith("synchrony")}
+        assert by_bound["2*delta"] == pytest.approx(0.5)
+        assert by_bound["Delta + delta"] == pytest.approx(1.25)
+        assert by_bound["Delta + 1.5*delta"] == pytest.approx(1.375)
+
+    def test_format_table_renders(self, table1):
+        text = format_table(table1)
+        assert "psync-BB" in text
+        assert "Delta + 1.5*delta" in text
+        assert "NO" not in text
+
+
+class TestSyncSweep:
+    @pytest.fixture(scope="class")
+    def series(self):
+        return sweep_sync_regimes(deltas=[0.2, 0.5, 1.0])
+
+    def test_exact_formulas(self, series):
+        for point in series["2delta (f<n/3)"]:
+            assert point.latency == pytest.approx(2 * point.x)
+        for point in series["Delta+delta (f=n/3)"]:
+            assert point.latency == pytest.approx(1.0 + point.x)
+        for point in series["Delta+delta (sync start)"]:
+            assert point.latency == pytest.approx(1.0 + point.x)
+        for point in series["Delta+1.5delta (unsync)"]:
+            assert point.latency == pytest.approx(1.0 + 1.5 * point.x)
+        for point in series["Delta+2delta (baseline)"]:
+            assert point.latency == pytest.approx(1.0 + 2 * point.x)
+
+    def test_worst_case_baseline_is_flat_and_slow(self, series):
+        latencies = [p.latency for p in series["DolevStrong (worst-case)"]]
+        assert all(lat == pytest.approx(6.0) for lat in latencies)
+
+    def test_ordering_between_regimes_at_small_delta(self, series):
+        # At delta << Delta: 2delta < Delta+delta < Delta+1.5delta <
+        # Delta+2delta < DolevStrong.
+        at = {name: pts[0].latency for name, pts in series.items()}
+        assert (
+            at["2delta (f<n/3)"]
+            < at["Delta+delta (f=n/3)"]
+            <= at["Delta+delta (sync start)"]
+            < at["Delta+1.5delta (unsync)"]
+            < at["Delta+2delta (baseline)"]
+            < at["DolevStrong (worst-case)"]
+        )
+
+
+class TestTradeoffSweep:
+    def test_latency_improves_with_m_and_respects_bounds(self):
+        delta, big_delta = 0.3, 1.0
+        points = sweep_fig9_tradeoff(
+            grid_sizes=[1, 2, 4, 8, 16], delta=delta, big_delta=big_delta
+        )
+        latencies = [p.latency for p in points]
+        # Monotone non-increasing in m, within the paper's guarantee.
+        assert latencies == sorted(latencies, reverse=True)
+        for point in points:
+            m = int(point.x)
+            assert point.latency <= (1 + 1 / (2 * m)) * big_delta + (
+                1.5 * delta
+            ) + 1e-9
+            assert point.latency >= big_delta + 1.5 * delta - 1e-9
+
+
+class TestDishonestMajoritySweep:
+    def test_latency_tracks_the_ratio(self):
+        records = sweep_dishonest_majority(
+            configs=[(4, 2), (6, 4), (8, 6), (10, 8)]
+        )
+        latencies = [r["latency"] for r in records]
+        assert latencies == sorted(latencies)
+        for record in records:
+            assert record["latency"] == pytest.approx(record["upper_shape"])
+            assert record["latency"] >= record["lower_bound"]
+
+    def test_gap_is_roughly_factor_two(self):
+        # The paper's open problem: a factor-2 gap between LB and UB.
+        records = sweep_dishonest_majority(configs=[(8, 6), (10, 8)])
+        for record in records:
+            assert record["upper_shape"] <= 4 * max(record["lower_bound"], 1)
+
+
+class TestAsyncSweep:
+    def test_round_latencies_constant_in_n(self):
+        records = sweep_async_rounds(configs=[(4, 1), (7, 2), (10, 3)])
+        for record in records:
+            assert record["brb_2round"] == 2
+            assert record["bracha"] == 3

@@ -1,0 +1,227 @@
+"""Tests for the (5f-1)-psync-VBB protocol (Figure 3)."""
+import pytest
+
+from repro.adversary.behaviors import (
+    CrashBehavior,
+    FilteredHonestBehavior,
+    silent_toward,
+)
+from repro.adversary.broadcaster import equivocating_broadcaster
+from repro.net.partial_synchrony import PartialSynchronyModel
+from repro.protocols.psync.vbb_5f1 import PsyncVbb5f1
+from repro.sim.delays import FixedDelay, UniformDelay
+from repro.sim.runner import run_broadcast
+
+DELTA = 1.0
+
+
+def vbb_factory(n, f, value="v", **kwargs):
+    kwargs.setdefault("big_delta", DELTA)
+    return PsyncVbb5f1.factory(broadcaster=0, input_value=value, **kwargs)
+
+
+def run_good_case(n, f, *, policy=None, value="v", **kwargs):
+    return run_broadcast(
+        n=n,
+        f=f,
+        party_factory=vbb_factory(n, f, value, **kwargs),
+        delay_policy=policy or FixedDelay(0.1),
+    )
+
+
+class TestGoodCase:
+    @pytest.mark.parametrize("n,f", [(4, 1), (9, 2), (14, 3), (24, 5)])
+    def test_all_commit_broadcaster_value(self, n, f):
+        result = run_good_case(n, f)
+        assert result.all_honest_committed()
+        assert result.committed_value() == "v"
+
+    @pytest.mark.parametrize("n,f", [(4, 1), (9, 2), (14, 3)])
+    def test_good_case_latency_is_2_rounds(self, n, f):
+        result = run_good_case(n, f)
+        assert result.round_latency() == 2
+
+    def test_f1_special_case_n4(self):
+        # The paper highlights f=1: n = 4 = 3f+1 = 5f-1, so 2 rounds beat
+        # 3-round PBFT at PBFT's own minimal configuration.
+        result = run_good_case(4, 1)
+        assert result.round_latency() == 2
+
+    def test_two_rounds_under_heterogeneous_delays(self):
+        result = run_good_case(
+            9, 2, policy=UniformDelay(0.05, 0.9, seed=3)
+        )
+        assert result.round_latency() == 2
+        assert result.committed_value() == "v"
+
+    def test_resilience_boundary_rejected(self):
+        with pytest.raises(ValueError):
+            run_good_case(8, 2)  # n = 5f - 2
+
+    def test_gst_policy_good_case(self):
+        model = PartialSynchronyModel(big_delta=DELTA, gst=0.0)
+        result = run_good_case(9, 2, policy=model.stable_policy())
+        assert result.round_latency() == 2
+
+
+class TestExternalValidity:
+    def test_committed_value_is_externally_valid(self):
+        result = run_good_case(
+            9, 2, external_validity=lambda v: v == "v"
+        )
+        assert result.committed_value() == "v"
+
+    def test_invalid_broadcaster_value_is_ignored(self):
+        result = run_broadcast(
+            n=9,
+            f=2,
+            party_factory=vbb_factory(
+                9, 2, "bad", external_validity=lambda v: v != "bad",
+                fallback_value="good",
+            ),
+            delay_policy=FixedDelay(0.1),
+            until=200.0,
+        )
+        # Nobody may commit "bad"; the view change may commit a fallback.
+        assert all(v != "bad" for v in result.commits.values())
+        assert result.agreement_holds()
+
+
+class TestViewChange:
+    def test_crashed_leader_view_change_commits(self):
+        result = run_broadcast(
+            n=9,
+            f=2,
+            party_factory=vbb_factory(9, 2, fallback_value="fb"),
+            delay_policy=FixedDelay(0.1),
+            byzantine=frozenset({0}),
+            behavior_factory=CrashBehavior,
+            until=500.0,
+        )
+        assert result.all_honest_committed()
+        assert result.agreement_holds()
+        # The broadcaster never proposed: any externally valid value works;
+        # with round-robin, view 2's leader proposes its fallback.
+        assert result.committed_value() == "fb"
+
+    def test_silent_toward_half_still_commits_via_forwarding(self):
+        # Leader proposes only to a bare quorum; their votes + forwarded
+        # commit quorums must carry everyone else.
+        n, f = 9, 2
+        quorum_group = frozenset(range(0, n - f))
+        starved = frozenset(range(n - f, n))
+
+        def behavior(world, pid):
+            return FilteredHonestBehavior(
+                world,
+                pid,
+                party_factory=lambda w, p: PsyncVbb5f1(
+                    w, p, broadcaster=0, input_value="v", big_delta=DELTA
+                ),
+                send_filter=silent_toward(starved),
+            )
+
+        result = run_broadcast(
+            n=n,
+            f=f,
+            party_factory=vbb_factory(n, f),
+            delay_policy=FixedDelay(0.1),
+            byzantine=frozenset({0}),
+            behavior_factory=behavior,
+            until=500.0,
+        )
+        assert result.agreement_holds()
+        assert result.all_honest_committed()
+        assert result.committed_value() == "v"
+
+    def test_equivocating_leader_agreement_holds(self):
+        n, f = 9, 2
+        behavior = equivocating_broadcaster(
+            make_broadcaster=PsyncVbb5f1.broadcaster_factory(
+                broadcaster=0, big_delta=DELTA
+            ),
+            groups={
+                "zero": frozenset(range(1, 5)),
+                "one": frozenset(range(5, 9)),
+            },
+        )
+        result = run_broadcast(
+            n=n,
+            f=f,
+            party_factory=vbb_factory(n, f),
+            delay_policy=FixedDelay(0.1),
+            byzantine=frozenset({0}),
+            behavior_factory=behavior,
+            until=500.0,
+        )
+        assert result.agreement_holds()
+        assert result.all_honest_committed()
+        # The committed value must be one of the equivocated values or a
+        # later leader's choice; either way it is unique (checked above).
+
+    @pytest.mark.parametrize("split", [2, 3, 4, 5, 6])
+    def test_equivocation_splits_never_violate_agreement(self, split):
+        n, f = 9, 2
+        behavior = equivocating_broadcaster(
+            make_broadcaster=PsyncVbb5f1.broadcaster_factory(
+                broadcaster=0, big_delta=DELTA
+            ),
+            groups={
+                "zero": frozenset(range(1, 1 + split)),
+                "one": frozenset(range(1 + split, 9)),
+            },
+        )
+        result = run_broadcast(
+            n=n,
+            f=f,
+            party_factory=vbb_factory(n, f),
+            delay_policy=FixedDelay(0.1),
+            byzantine=frozenset({0}),
+            behavior_factory=behavior,
+            until=500.0,
+        )
+        assert result.agreement_holds()
+        assert result.all_honest_committed()
+
+    def test_crashed_followers_good_case_unaffected(self):
+        n, f = 9, 2
+        result = run_broadcast(
+            n=n,
+            f=f,
+            party_factory=vbb_factory(n, f),
+            delay_policy=FixedDelay(0.1),
+            byzantine=frozenset({7, 8}),
+            behavior_factory=CrashBehavior,
+        )
+        assert result.all_honest_committed()
+        assert result.committed_value() == "v"
+        assert result.round_latency() == 2
+
+
+class TestLateGst:
+    def test_commits_after_gst_with_adversarial_prefix(self):
+        # GST at t=20: pre-GST messages are maximally delayed; the
+        # protocol must churn views and then commit after GST.
+        model = PartialSynchronyModel(big_delta=DELTA, gst=20.0)
+        result = run_broadcast(
+            n=9,
+            f=2,
+            party_factory=vbb_factory(9, 2),
+            delay_policy=model.policy(),
+            until=500.0,
+        )
+        assert result.all_honest_committed()
+        assert result.agreement_holds()
+
+    def test_commit_times_exceed_gst_when_views_churn(self):
+        model = PartialSynchronyModel(big_delta=DELTA, gst=20.0)
+        result = run_broadcast(
+            n=9,
+            f=2,
+            party_factory=vbb_factory(9, 2),
+            delay_policy=model.policy(),
+            until=500.0,
+        )
+        # With every pre-GST message stalled to the GST cap, commits land
+        # after GST.
+        assert all(t > 0 for t in result.commit_global_times.values())

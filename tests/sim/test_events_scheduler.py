@@ -1,0 +1,131 @@
+"""Tests for the event queue and simulation kernel."""
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import EventQueue
+from repro.sim.scheduler import Simulator
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(2.0, lambda: fired.append("b"))
+        queue.push(1.0, lambda: fired.append("a"))
+        queue.push(3.0, lambda: fired.append("c"))
+        while (event := queue.pop()) is not None:
+            event.action()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        queue = EventQueue()
+        fired = []
+        for i in range(10):
+            queue.push(1.0, lambda i=i: fired.append(i))
+        while (event := queue.pop()) is not None:
+            event.action()
+        assert fired == list(range(10))
+
+    def test_priority_beats_insertion_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(1.0, lambda: fired.append("late"), priority=1)
+        queue.push(1.0, lambda: fired.append("early"), priority=0)
+        while (event := queue.pop()) is not None:
+            event.action()
+        assert fired == ["early", "late"]
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        fired = []
+        handle = queue.push(1.0, lambda: fired.append("x"))
+        queue.push(2.0, lambda: fired.append("y"))
+        handle.cancel()
+        while (event := queue.pop()) is not None:
+            event.action()
+        assert fired == ["y"]
+
+    def test_len_ignores_cancelled(self):
+        queue = EventQueue()
+        handle = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert len(queue) == 2
+        handle.cancel()
+        assert len(queue) == 1
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        handle = queue.push(5.0, lambda: None)
+        assert queue.peek_time() == 5.0
+        handle.cancel()
+        assert queue.peek_time() is None
+
+
+class TestSimulator:
+    def test_time_advances_monotonically(self):
+        sim = Simulator()
+        times = []
+        sim.schedule_at(1.0, lambda: times.append(sim.now))
+        sim.schedule_at(0.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [0.5, 1.0]
+
+    def test_schedule_after_is_relative(self):
+        sim = Simulator()
+        seen = []
+
+        def chain():
+            seen.append(sim.now)
+            if len(seen) < 3:
+                sim.schedule_after(2.0, chain)
+
+        sim.schedule_after(1.0, chain)
+        sim.run()
+        assert seen == [1.0, 3.0, 5.0]
+
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(1.0, lambda: fired.append(1))
+        sim.schedule_at(10.0, lambda: fired.append(10))
+        final = sim.run(until=5.0)
+        assert fired == [1]
+        assert final == 5.0
+        sim.run()
+        assert fired == [1, 10]
+
+    def test_cannot_schedule_in_the_past(self):
+        sim = Simulator()
+        sim.schedule_at(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_after(-1.0, lambda: None)
+
+    def test_max_events(self):
+        sim = Simulator()
+        fired = []
+        for i in range(5):
+            sim.schedule_at(float(i), lambda i=i: fired.append(i))
+        sim.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(4):
+            sim.schedule_at(float(i), lambda: None)
+        sim.run()
+        assert sim.events_processed == 4
+
+    def test_pending_events(self):
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda: None)
+        sim.schedule_at(2.0, lambda: None)
+        assert sim.pending_events() == 2
+        sim.run(until=1.5)
+        assert sim.pending_events() == 1

@@ -1,0 +1,111 @@
+"""Unit tests for the Canetti-Rabin round accountant (Definitions 9-10)."""
+from repro.sim.rounds import RoundAccountant
+
+
+def start(acc, party):
+    acc.begin_start_step(party)
+    acc.end_step()
+
+
+def start_and_send(acc, party):
+    acc.begin_start_step(party)
+    msg = acc.register_send()
+    acc.end_step()
+    return msg
+
+
+def deliver(acc, party, msg, *, send_count=0):
+    acc.begin_delivery_step(party, msg)
+    sends = [acc.register_send() for _ in range(send_count)]
+    acc.end_step()
+    return sends
+
+
+class TestBasicRounds:
+    def test_start_steps_are_round_zero(self):
+        acc = RoundAccountant()
+        start(acc, 0)
+        start(acc, 1)
+        assert acc.step_rounds() == [0, 0]
+
+    def test_propose_vote_commit_pattern(self):
+        # The paper's Appendix A example: proposal round 0, votes round 1,
+        # commit at a round-2 step.
+        acc = RoundAccountant()
+        proposal = start_and_send(acc, 0)
+        start(acc, 1)
+        (vote,) = deliver(acc, 1, proposal, send_count=1)
+        commit_step = acc.begin_delivery_step(0, vote)
+        acc.end_step()
+        rounds = acc.step_rounds()
+        assert rounds[acc.msg_delivered_step[proposal]] == 1
+        assert rounds[commit_step] == 2
+
+    def test_slow_proposal_keeps_votes_in_round_one(self):
+        # A vote sent in response to a FAST proposal is still a round-1
+        # message even if delivered before some other SLOW proposal: the
+        # round-1 cut is the LAST round-0 delivery.
+        acc = RoundAccountant()
+        fast = start_and_send(acc, 0)
+        slow = None
+        acc.begin_start_step(0)
+        acc.end_step()
+        # Two proposals from the start step of party 0:
+        acc2 = RoundAccountant()
+        acc2.begin_start_step(0)
+        fast = acc2.register_send()
+        slow = acc2.register_send()
+        acc2.end_step()
+        start(acc2, 1)
+        start(acc2, 2)
+        (vote,) = deliver(acc2, 1, fast, send_count=1)
+        vote_step = acc2.begin_delivery_step(2, vote)
+        acc2.end_step()
+        slow_step = acc2.begin_delivery_step(2, slow)
+        acc2.end_step()
+        rounds = acc2.step_rounds()
+        # The slow proposal's delivery closes round 1, so the earlier
+        # vote delivery is also round 1.
+        assert rounds[slow_step] == 1
+        assert rounds[vote_step] == 1
+
+    def test_timer_sends_do_not_extend_cuts(self):
+        acc = RoundAccountant()
+        proposal = start_and_send(acc, 0)
+        start(acc, 1)
+        deliver(acc, 1, proposal)
+        # A message sent outside any step (timer context).
+        orphan = acc.register_send()
+        orphan_step = acc.begin_delivery_step(0, orphan)
+        acc.end_step()
+        rounds = acc.step_rounds()
+        # The orphan's delivery inherits the round in force (1), and
+        # does not create new rounds.
+        assert rounds[orphan_step] == 1
+
+    def test_undelivered_messages_ignored(self):
+        acc = RoundAccountant()
+        start_and_send(acc, 0)  # never delivered
+        start(acc, 1)
+        assert acc.step_rounds() == [0, 0]
+
+    def test_current_step_tracking(self):
+        acc = RoundAccountant()
+        assert acc.current_step is None
+        acc.begin_start_step(0)
+        assert acc.current_step == 0
+        acc.end_step()
+        assert acc.current_step is None
+        assert acc.last_step_index() == 0
+
+    def test_deep_chain_rounds(self):
+        # A relay chain: each hop adds one round.
+        acc = RoundAccountant()
+        msg = start_and_send(acc, 0)
+        for party in range(1, 6):
+            start(acc, party)
+        for hop, party in enumerate([1, 2, 3, 4, 5], start=1):
+            step = acc.begin_delivery_step(party, msg)
+            msg = acc.register_send()
+            acc.end_step()
+            assert acc.step_rounds()[step] == hop

@@ -1,0 +1,74 @@
+"""Tests for transcript recording and indistinguishability checking."""
+from repro.sim.transcript import (
+    Transcript,
+    first_divergence,
+    indistinguishable,
+)
+
+
+def make_transcript(party, recvs):
+    transcript = Transcript(party)
+    transcript.record_start(0.0)
+    for local_time, sender, payload in recvs:
+        transcript.record_recv(local_time, sender, payload)
+    return transcript
+
+
+class TestIndistinguishability:
+    def test_identical_histories_match(self):
+        recvs = [(1.0, 1, "a"), (2.0, 2, "b")]
+        a = make_transcript(0, recvs)
+        b = make_transcript(0, recvs)
+        assert indistinguishable(a, b, local_cutoff=10.0)
+
+    def test_differing_payloads_diverge(self):
+        a = make_transcript(0, [(1.0, 1, "a")])
+        b = make_transcript(0, [(1.0, 1, "b")])
+        assert not indistinguishable(a, b, local_cutoff=10.0)
+
+    def test_differing_times_diverge(self):
+        a = make_transcript(0, [(1.0, 1, "a")])
+        b = make_transcript(0, [(1.5, 1, "a")])
+        assert not indistinguishable(a, b, local_cutoff=10.0)
+
+    def test_differing_senders_diverge(self):
+        a = make_transcript(0, [(1.0, 1, "a")])
+        b = make_transcript(0, [(1.0, 2, "a")])
+        assert not indistinguishable(a, b, local_cutoff=10.0)
+
+    def test_divergence_after_cutoff_ignored(self):
+        a = make_transcript(0, [(1.0, 1, "a"), (5.0, 2, "x")])
+        b = make_transcript(0, [(1.0, 1, "a"), (5.0, 2, "y")])
+        assert indistinguishable(a, b, local_cutoff=5.0)
+        assert not indistinguishable(a, b, local_cutoff=5.5)
+
+    def test_cutoff_is_strict(self):
+        a = make_transcript(0, [(5.0, 1, "x")])
+        b = make_transcript(0, [])
+        assert indistinguishable(a, b, local_cutoff=5.0)
+
+    def test_commits_do_not_affect_receive_history(self):
+        a = make_transcript(0, [(1.0, 1, "a")])
+        b = make_transcript(0, [(1.0, 1, "a")])
+        a.record_commit(2.0, "v")
+        assert indistinguishable(a, b, local_cutoff=10.0)
+
+
+class TestFirstDivergence:
+    def test_none_when_identical(self):
+        a = make_transcript(0, [(1.0, 1, "a")])
+        b = make_transcript(0, [(1.0, 1, "a")])
+        assert first_divergence(a, b) is None
+
+    def test_reports_first_mismatch(self):
+        a = make_transcript(0, [(1.0, 1, "a"), (2.0, 1, "b")])
+        b = make_transcript(0, [(1.0, 1, "a"), (2.0, 1, "c")])
+        div = first_divergence(a, b)
+        assert div is not None
+        assert div[0].local_time == 2.0
+
+    def test_reports_extra_entry(self):
+        a = make_transcript(0, [(1.0, 1, "a"), (2.0, 1, "b")])
+        b = make_transcript(0, [(1.0, 1, "a")])
+        div = first_divergence(a, b)
+        assert div == (a.receives_before(10.0)[1], None)

@@ -1,0 +1,106 @@
+"""Tests for the SMR layer built on (5f-1)-psync-VBB."""
+import pytest
+
+from repro.adversary.behaviors import CrashBehavior
+from repro.sim.delays import FixedDelay, UniformDelay
+from repro.sim.runner import World
+from repro.smr import Counter, KeyValueStore, smr_factory
+
+
+def run_smr(
+    n=9,
+    f=2,
+    *,
+    workload,
+    policy=None,
+    byzantine=frozenset(),
+    behavior_factory=None,
+    machine=KeyValueStore,
+    until=500.0,
+):
+    world = World(
+        n=n,
+        f=f,
+        delay_policy=policy or FixedDelay(0.1),
+        byzantine=byzantine,
+    )
+    world.populate(
+        smr_factory(
+            leader=0,
+            workload=workload,
+            state_machine_factory=machine,
+            big_delta=1.0,
+        ),
+        behavior_factory,
+    )
+    world.run(until=until)
+    return world
+
+
+class TestGoodCase:
+    def test_all_replicas_apply_same_log(self):
+        workload = [("set", f"k{i}", i) for i in range(8)]
+        world = run_smr(workload=workload)
+        logs = {tuple(r.committed_log) for r in world.honest_parties()}
+        assert len(logs) == 1
+        assert logs.pop() == tuple(workload)
+
+    def test_state_machines_agree(self):
+        workload = [("set", "a", 1), ("set", "b", 2), ("del", "a")]
+        world = run_smr(workload=workload)
+        snaps = {r.state_machine.snapshot() for r in world.honest_parties()}
+        assert snaps == {(("b", 2),)}
+
+    def test_one_command_per_two_delays(self):
+        # The headline: a stable honest leader commits one slot per 2*delta.
+        workload = [i for i in range(6)]
+        world = run_smr(workload=workload, machine=Counter)
+        replica = world.agents[1]
+        times = [replica.commit_times[s] for s in range(6)]
+        gaps = [round(b - a, 9) for a, b in zip(times, times[1:])]
+        assert all(g == pytest.approx(0.2) for g in gaps)
+
+    def test_counter_totals(self):
+        workload = [1, 2, 3, 4]
+        world = run_smr(workload=workload, machine=Counter)
+        assert all(
+            r.state_machine.total == 10 for r in world.honest_parties()
+        )
+
+    def test_heterogeneous_delays_still_agree(self):
+        workload = [("set", f"k{i}", i) for i in range(5)]
+        world = run_smr(
+            workload=workload, policy=UniformDelay(0.02, 0.4, seed=7)
+        )
+        logs = {tuple(r.committed_log) for r in world.honest_parties()}
+        assert len(logs) == 1
+
+
+class TestFaults:
+    def test_crashed_followers_do_not_block(self):
+        workload = [("set", "x", 1), ("set", "y", 2)]
+        world = run_smr(
+            workload=workload,
+            byzantine=frozenset({7, 8}),
+            behavior_factory=CrashBehavior,
+        )
+        for replica in world.honest_parties():
+            assert tuple(replica.committed_log) == tuple(workload)
+
+    def test_crashed_leader_view_change_fills_slots_with_noops(self):
+        workload = [("set", "x", 1)]
+        world = run_smr(
+            workload=workload,
+            byzantine=frozenset({0}),
+            behavior_factory=CrashBehavior,
+        )
+        logs = {tuple(r.committed_log) for r in world.honest_parties()}
+        assert len(logs) == 1
+        # The slot-0 view change commits the fallback no-op command.
+        assert logs.pop() == (("noop", 0),)
+
+    def test_garbage_commands_are_noops(self):
+        workload = [("set", "x", 1), "garbage", ("set", "y", 2)]
+        world = run_smr(workload=workload)
+        snaps = {r.state_machine.snapshot() for r in world.honest_parties()}
+        assert snaps == {(("x", 1), ("y", 2))}

@@ -1,0 +1,50 @@
+"""Tests for the command-line interface."""
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table1_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.delta == 0.25
+        assert args.big_delta == 1.0
+
+    def test_witness_choices(self):
+        args = build_parser().parse_args(["witness", "thm10"])
+        assert args.theorem == "thm10"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["witness", "thm99"])
+
+
+class TestCommands:
+    def test_table1_exit_code_zero(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "psync-BB" in out
+        assert "NO" not in out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "--deltas", "0.25,0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "2delta" in out
+
+    def test_witness_thm04(self, capsys):
+        assert main(["witness", "thm04"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 4" in out
+        assert "violation" in out
+
+    def test_smr(self, capsys):
+        assert main(["smr", "--slots", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "replicas agree: True" in out
+
+    def test_ablation(self, capsys):
+        assert main(["ablation"]) == 0
+        out = capsys.readouterr().out
+        assert "load-bearing: True" in out
