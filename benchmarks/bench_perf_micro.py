@@ -1,0 +1,107 @@
+"""Micro-benchmarks for the digest/verification caching subsystem.
+
+These pin the substrate costs the protocol benchmarks ride on: canonical
+encoding, cold vs warm digests, registry verification, multicast fan-out
+scheduling and event-queue bookkeeping.  Run with::
+
+    pytest benchmarks/bench_perf_micro.py --benchmark-only
+
+For the tracked end-to-end numbers (``BENCH_core.json``) use
+``python benchmarks/run_core_bench.py`` instead.
+"""
+import pytest
+
+from repro.crypto.messages import (
+    canonical_encode,
+    clear_digest_cache,
+    digest,
+)
+from repro.crypto.signatures import KeyRegistry
+from repro.sim.delays import FixedDelay
+from repro.sim.events import EventQueue
+from repro.sim.network import Network
+from repro.sim.scheduler import Simulator
+
+
+def _vote_quorum(n: int):
+    """A realistic hot payload: a forwarded quorum of signed votes."""
+    registry = KeyRegistry(n)
+    votes = tuple(
+        registry.signer_for(i).sign(("vote", "v")) for i in range(n)
+    )
+    return registry, votes
+
+
+def test_canonical_encode_nested_tuple(benchmark):
+    payload = tuple(("vote", i, ("inner", i % 3)) for i in range(32))
+    benchmark(canonical_encode, payload)
+
+
+def test_digest_cold(benchmark):
+    """Every iteration digests a fresh (uncached) object."""
+    def run():
+        clear_digest_cache()
+        return digest(tuple(("vote", i) for i in range(32)))
+
+    benchmark(run)
+
+
+def test_digest_warm(benchmark):
+    """Steady-state: the same payload object digested repeatedly."""
+    payload = tuple(("vote", i) for i in range(32))
+    digest(payload)
+    benchmark(digest, payload)
+
+
+def test_digest_quorum_of_signed_votes(benchmark):
+    _, votes = _vote_quorum(21)
+    clear_digest_cache()
+    digest(votes)  # warm: the multicast steady state
+    benchmark(digest, votes)
+
+
+def test_verify_cold_then_warm_quorum(benchmark):
+    """First verification pays the digest; re-checks hit the verified set."""
+    registry, votes = _vote_quorum(21)
+    for vote in votes:
+        registry.verify(vote)
+
+    def run():
+        return all(registry.verify(vote) for vote in votes)
+
+    assert benchmark(run)
+
+
+def test_multicast_schedule_n31(benchmark):
+    """Scheduling one multicast to 31 parties (one order-key digest)."""
+    sim = Simulator()
+    network = Network(sim, FixedDelay(1.0), n=31)
+    for pid in range(31):
+        network.attach(pid, lambda sender, payload: None)
+    payload = ("propose", "v")
+
+    benchmark(network.multicast, 0, payload)
+
+
+def test_event_queue_len_under_load(benchmark):
+    """len() must be O(1) even with thousands of pending events."""
+    queue = EventQueue()
+    for i in range(10_000):
+        queue.push(float(i), lambda: None)
+
+    assert benchmark(len, queue) == 10_000
+
+
+def test_event_queue_cancel_heavy_churn(benchmark):
+    """Push/cancel churn exercises the lazy compaction path."""
+    def run():
+        queue = EventQueue()
+        handles = [queue.push(float(i), lambda: None) for i in range(2_000)]
+        for handle in handles[:1_900]:
+            handle.cancel()
+        fired = 0
+        while queue.pop() is not None:
+            fired += 1
+        return fired
+
+    assert benchmark(run) == 100

@@ -1,0 +1,130 @@
+"""Tracked end-to-end perf runs: writes ``BENCH_core.json``.
+
+Runs the good-case latency measurement for 2-round-BRB and psync-VBB at
+n in {4, 16, 31} and records wall time, events/sec, message counts and
+digest-cache statistics.  The previous file's ``baseline`` section is
+preserved across runs (the committed baseline is the pre-cache seed), so
+the perf trajectory is visible PR over PR::
+
+    PYTHONPATH=src python benchmarks/run_core_bench.py [output.json]
+
+See benchmarks/README.md for how to read the output.
+"""
+from __future__ import annotations
+
+import json
+import statistics
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.analysis.latency import measure_round_good_case
+from repro.crypto.messages import clear_digest_cache, digest_stats
+from repro.protocols.brb_2round import Brb2Round
+from repro.protocols.psync.vbb_5f1 import PsyncVbb5f1
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_core.json"
+REPS = 5
+
+#: (label, protocol class, measure kwargs).  f is the largest fault budget
+#: each protocol's resilience bound admits at that n.
+CONFIGS = [
+    ("brb_2round", Brb2Round, dict(n=4, f=1)),
+    ("brb_2round", Brb2Round, dict(n=16, f=5)),
+    ("brb_2round", Brb2Round, dict(n=31, f=10)),
+    ("psync_vbb_5f1", PsyncVbb5f1, dict(n=4, f=1, big_delta=1.0)),
+    ("psync_vbb_5f1", PsyncVbb5f1, dict(n=16, f=3, big_delta=1.0)),
+    ("psync_vbb_5f1", PsyncVbb5f1, dict(n=31, f=6, big_delta=1.0)),
+]
+
+
+def _git_rev() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT, capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except Exception:
+        return "unknown"
+
+
+def measure_one(label: str, cls, kwargs: dict) -> dict:
+    measure_round_good_case(cls, **kwargs)  # warm-up (and JIT-less caches)
+    walls = []
+    for _ in range(REPS):
+        start = time.perf_counter()
+        meas = measure_round_good_case(cls, **kwargs)
+        walls.append(time.perf_counter() - start)
+    wall = statistics.median(walls)
+
+    # One instrumented run from a cold digest cache for the cache stats.
+    clear_digest_cache()
+    digest_stats.reset()
+    meas = measure_round_good_case(cls, **kwargs)
+    stats = digest_stats.snapshot()
+    events = meas.result.events_processed
+
+    return {
+        "protocol": label,
+        **{k: v for k, v in kwargs.items()},
+        "wall_seconds": round(wall, 6),
+        "events_processed": events,
+        "events_per_second": round(events / wall, 1),
+        "messages": meas.messages,
+        "round_latency": meas.round_latency,
+        "digests_computed": stats["digests_computed"],
+        "digest_cache_hits": stats["cache_hits"],
+    }
+
+
+def main(argv: list[str]) -> int:
+    output = Path(argv[1]) if len(argv) > 1 else DEFAULT_OUTPUT
+    results = []
+    for label, cls, kwargs in CONFIGS:
+        row = measure_one(label, cls, kwargs)
+        results.append(row)
+        print(
+            f"{label:>14} n={row['n']:<3} f={row['f']:<3}"
+            f" wall={row['wall_seconds']*1000:8.2f}ms"
+            f" events/s={row['events_per_second']:>10.0f}"
+            f" digests={row['digests_computed']}"
+            f" hits={row['digest_cache_hits']}"
+        )
+
+    current = {
+        "rev": _git_rev(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "results": results,
+    }
+    doc = {"schema": "bench-core/v1"}
+    if output.exists():
+        try:
+            doc = json.loads(output.read_text())
+        except json.JSONDecodeError:
+            pass
+    doc.setdefault("schema", "bench-core/v1")
+    # The baseline sticks once written (the committed one is the pre-cache
+    # seed); only "current" tracks the working tree.
+    doc.setdefault("baseline", current)
+    doc["current"] = current
+
+    base_by_key = {
+        (r["protocol"], r["n"], r["f"]): r
+        for r in doc["baseline"]["results"]
+    }
+    for row in results:
+        base = base_by_key.get((row["protocol"], row["n"], row["f"]))
+        if base and row["wall_seconds"] > 0:
+            row["speedup_vs_baseline"] = round(
+                base["wall_seconds"] / row["wall_seconds"], 2
+            )
+
+    output.write_text(json.dumps(doc, indent=1) + "\n")
+    print(f"\nwrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,13 +1,27 @@
 """Idealized authentication primitives (signatures, PKI, digests)."""
-from repro.crypto.messages import canonical_encode, digest, short_digest
+from repro.crypto.messages import (
+    IdentityMemo,
+    canonical_encode,
+    clear_digest_cache,
+    digest,
+    digest_cache_len,
+    digest_ex,
+    digest_stats,
+    short_digest,
+)
 from repro.crypto.signatures import KeyRegistry, Signature, SignedPayload, Signer
 
 __all__ = [
+    "IdentityMemo",
     "KeyRegistry",
     "Signature",
     "SignedPayload",
     "Signer",
     "canonical_encode",
+    "clear_digest_cache",
     "digest",
+    "digest_cache_len",
+    "digest_ex",
+    "digest_stats",
     "short_digest",
 ]

@@ -1,12 +1,42 @@
-"""Canonical message encoding and digests.
+"""Canonical message encoding and content-addressed digests.
 
 Protocol payloads are plain Python data (tuples, ints, strings, frozen
 dataclasses).  To sign or compare them we need a *canonical* byte encoding
 that is stable across processes and insensitive to dict ordering.  We use a
-small recursive encoder over the value types the protocols actually use,
+small type-tagged encoder over the value types the protocols actually use,
 then SHA-256.  The paper assumes ideal hash/signature primitives, so the
 only property we need is injectivity over the message space, which the
 type-tagged encoding provides.
+
+Two properties make this module the perf-critical substrate of the whole
+simulator and shape its design:
+
+* **The encoder is iterative.**  Certificates and forwarded vote quorums
+  nest arbitrarily deep (countersigned payloads of countersigned payloads),
+  so the encoder runs an explicit work stack instead of recursing — depth
+  is bounded by memory, not by the interpreter recursion limit.  Nested
+  *digests* (Merkle-style encodings like ``SignedPayload``'s) go through
+  the :class:`DigestOf` marker and are derived on the same work stack, so
+  deep countersign chains cost zero extra Python frames too.
+
+* **Digests are content-addressed and memoized by identity.**  The
+  simulator passes payload *objects* by reference (multicast hands the same
+  tuple to every recipient; certificate entries are re-verified by every
+  party), so one payload object is digested many times.  ``digest`` keeps
+  an identity-keyed cache ``id(obj) -> (obj, digest)``; the strong
+  reference to the key object pins its ``id``, so an entry can never alias
+  a recycled address.  Only *deeply immutable* values are cached (tuples /
+  frozensets / ``_canonical_fields`` objects whose leaves are immutable);
+  a value containing a ``list`` or ``dict`` anywhere is re-encoded every
+  time, so mutation never yields a stale digest.
+
+Stability is tracked *through* nested digests: a ``_canonical_fields``
+holder that calls back into :func:`digest` (e.g. ``SignedPayload``'s
+Merkle-style encoding) would hide a mutable sub-value behind a 32-byte
+hash, so the encoder keeps a re-entrancy stack and propagates "mutable
+seen" from inner encodings to the enclosing one.  :func:`digest_ex`
+exposes the flag to callers (signing and verification refuse to stamp or
+memoize anything whose bytes could change).
 """
 from __future__ import annotations
 
@@ -14,6 +44,322 @@ import hashlib
 from typing import Any
 
 from repro.types import BOTTOM
+
+_sha256 = hashlib.sha256
+
+# --------------------------------------------------------------------- #
+# identity-keyed memoization
+# --------------------------------------------------------------------- #
+
+
+class IdentityMemo:
+    """An identity-keyed memo: ``id(obj) -> (obj, value)``.
+
+    The single home of the invariants that make ``id``-keyed caching
+    sound, shared by the digest cache, the registry's verified set and
+    the certificate checker's valid-verdict memo:
+
+    * the entry keeps a *strong reference* to the key object, pinning its
+      ``id`` so an entry can never alias a recycled address;
+    * the memo wholesale-clears at ``max_entries`` — eviction costs
+      recomputation, never correctness;
+    * callers must only :meth:`put` values that can be replayed for the
+      same object forever (stable digests, monotone-positive verdicts).
+    """
+
+    __slots__ = ("_entries", "max_entries")
+
+    def __init__(self, max_entries: int):
+        self._entries: dict[int, tuple[Any, Any]] = {}
+        self.max_entries = max_entries
+
+    def get(self, obj: Any) -> Any | None:
+        hit = self._entries.get(id(obj))
+        if hit is not None and hit[0] is obj:
+            return hit[1]
+        return None
+
+    def put(self, obj: Any, value: Any) -> bool:
+        """Store ``value``; returns True when a wholesale clear happened."""
+        evicted = len(self._entries) >= self.max_entries
+        if evicted:
+            self._entries.clear()
+        self._entries[id(obj)] = (obj, value)
+        return evicted
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+# --------------------------------------------------------------------- #
+# digest cache
+# --------------------------------------------------------------------- #
+
+#: Bulk-eviction threshold: a sweep over many independent worlds stays at
+#: O(threshold) memory.
+_MAX_CACHE_ENTRIES = 1 << 18
+
+_CACHE = IdentityMemo(_MAX_CACHE_ENTRIES)
+
+
+class DigestStats:
+    """Running counters for the digest subsystem (cheap, always on)."""
+
+    __slots__ = ("encode_calls", "digests_computed", "cache_hits",
+                 "cache_evictions")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.encode_calls = 0
+        self.digests_computed = 0
+        self.cache_hits = 0
+        self.cache_evictions = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "encode_calls": self.encode_calls,
+            "digests_computed": self.digests_computed,
+            "cache_hits": self.cache_hits,
+            "cache_evictions": self.cache_evictions,
+        }
+
+    def __repr__(self) -> str:
+        return f"DigestStats({self.snapshot()})"
+
+
+#: Module-wide counters; benchmarks diff ``digest_stats.snapshot()``.
+digest_stats = DigestStats()
+
+
+def clear_digest_cache() -> None:
+    """Drop every memoized digest (tests / between benchmark runs)."""
+    _CACHE.clear()
+
+
+def digest_cache_len() -> int:
+    """Number of live entries in the identity-keyed digest cache."""
+    return len(_CACHE)
+
+
+# --------------------------------------------------------------------- #
+# iterative canonical encoder
+# --------------------------------------------------------------------- #
+
+# Work-stack task tags.  "enc" encodes one value; the "fin_*" tasks run
+# after all of a composite's children finished and assemble its body.
+_ENC, _FIN_SEQ, _FIN_FSET, _FIN_DICT, _FIN_OBJ, _FIN_DIGEST = range(6)
+
+_NoneType = type(None)
+
+
+class DigestOf:
+    """Marker for ``_canonical_fields``: encode as the *digest* of ``value``.
+
+    Returning ``DigestOf(x)`` from ``_canonical_fields`` encodes exactly
+    like returning ``digest(x)`` (the 32 digest bytes), but the digest is
+    computed on the encoder's own work stack — no re-entrant ``digest``
+    call, so arbitrarily deep Merkle nestings (countersign chains) cost
+    zero extra Python frames.  Sub-digests of stable subtrees are entered
+    into the digest cache along the way.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+
+def _length_prefix(data: bytes) -> bytes:
+    return b"%d:" % len(data)
+
+
+#: Re-entrancy stack of mutability cells.  A ``_canonical_fields`` holder
+#: may call back into :func:`digest` mid-encode (Merkle-style encodings);
+#: when that *nested* encoding sees a mutable value, the fact must reach
+#: the *enclosing* encoding too — otherwise a mutable payload hidden
+#: behind a child digest would be memoized as stable.
+_ACTIVE_ENCODES: list[list[bool]] = []
+
+
+def _encode_ex(obj: Any) -> tuple[bytes, bool]:
+    """Encode ``obj``; returns ``(encoding, stable)``.
+
+    ``stable`` is True iff no ``list``/``dict`` (or other mutable holder)
+    occurs anywhere in the value — including inside nested digests taken
+    via re-entrant ``digest`` calls — i.e. the encoding can never change
+    and the digest may be memoized by identity.
+    """
+    cell = [True]
+    _ACTIVE_ENCODES.append(cell)
+    try:
+        encoding = _encode_loop(obj, cell)
+    finally:
+        _ACTIVE_ENCODES.pop()
+    if not cell[0] and _ACTIVE_ENCODES:
+        _ACTIVE_ENCODES[-1][0] = False
+    return encoding, cell[0]
+
+
+def _encode_loop(obj: Any, cell: list[bool]) -> bytes:
+    # Mutability is an event *counter* (not a flag) so that a _FIN_DIGEST
+    # frame can tell whether its own subtree saw a mutable value: snapshot
+    # the count when the frame is pushed, compare at finalization.
+    mut_events = 0
+    root: list[bytes] = []
+    # Each stack item: (_ENC, value, dest) or (_FIN_*, parts, dest[, tag]).
+    # Children are pushed in reverse so they pop (and complete) in order,
+    # appending their encodings to the parent frame's ``parts`` list.
+    stack: list[tuple] = [(_ENC, obj, root)]
+    push = stack.append
+    while stack:
+        task = stack.pop()
+        tag = task[0]
+        if tag == _ENC:
+            o, dest = task[1], task[2]
+            t = type(o)
+            if t is tuple or t is list:
+                if t is list:
+                    mut_events += 1
+                parts: list[bytes] = []
+                push((_FIN_SEQ, parts, dest))
+                for item in reversed(o):
+                    push((_ENC, item, parts))
+            elif t is str:
+                data = o.encode()
+                dest.append(b"s" + _length_prefix(data) + data)
+            elif t is int:
+                data = b"%d" % o
+                dest.append(b"i" + _length_prefix(data) + data)
+            elif t is bytes:
+                dest.append(b"y" + _length_prefix(o) + o)
+            elif t is bool:
+                dest.append(b"b1" if o else b"b0")
+            elif t is _NoneType:
+                dest.append(b"N")
+            elif o is BOTTOM:
+                dest.append(b"_")
+            elif t is float:
+                data = repr(o).encode()
+                dest.append(b"f" + _length_prefix(data) + data)
+            elif t is frozenset:
+                parts = []
+                push((_FIN_FSET, parts, dest))
+                for item in o:
+                    push((_ENC, item, parts))
+            elif t is dict:
+                mut_events += 1
+                parts = []
+                push((_FIN_DICT, parts, dest))
+                for key, value in o.items():
+                    push((_ENC, value, parts))
+                    push((_ENC, key, parts))
+            elif t is DigestOf:
+                inner = o.value
+                hit = _CACHE.get(inner)
+                if hit is not None:
+                    digest_stats.cache_hits += 1
+                    dest.append(b"y" + _length_prefix(hit) + hit)
+                else:
+                    parts = []
+                    push((_FIN_DIGEST, parts, dest, inner, mut_events))
+                    push((_ENC, inner, parts))
+            else:
+                fields = getattr(o, "_canonical_fields", None)
+                if fields is not None:
+                    if not _is_frozen_holder(t):
+                        mut_events += 1
+                    name = t.__name__.encode()
+                    parts = []
+                    push((_FIN_OBJ, parts, dest, name))
+                    push((_ENC, fields(), parts))
+                elif _encode_subclass(o, dest, push):
+                    mut_events += 1
+        elif tag == _FIN_SEQ:
+            body = b"".join(task[1])
+            task[2].append(b"t" + _length_prefix(body) + body)
+        elif tag == _FIN_FSET:
+            body = b"".join(sorted(task[1]))
+            task[2].append(b"S" + _length_prefix(body) + body)
+        elif tag == _FIN_DICT:
+            parts = task[1]
+            body = b"".join(
+                sorted(
+                    parts[i] + parts[i + 1] for i in range(0, len(parts), 2)
+                )
+            )
+            task[2].append(b"d" + _length_prefix(body) + body)
+        elif tag == _FIN_OBJ:
+            name = task[3]
+            task[2].append(
+                b"o" + _length_prefix(name) + name + task[1][0]
+            )
+        else:  # _FIN_DIGEST
+            inner, snapshot = task[3], task[4]
+            value = _sha256(task[1][0]).digest()
+            digest_stats.digests_computed += 1
+            # The subtree between push and pop is exactly `inner`'s; it is
+            # stable iff no mutable event fired in that window (and no
+            # nested re-entrant encode reported one).
+            if mut_events == snapshot and cell[0] and _cacheable(inner):
+                if _CACHE.put(inner, value):
+                    digest_stats.cache_evictions += 1
+            task[2].append(b"y" + _length_prefix(value) + value)
+    if mut_events:
+        cell[0] = False
+    return root[0]
+
+
+def _encode_subclass(o: Any, dest: list[bytes], push) -> bool:
+    """Slow path for subclasses of the supported types (IntEnum etc.).
+
+    Mirrors the exact-type dispatch with ``isinstance`` checks in the
+    original precedence order (bool before int; tuple/list before dict).
+    Returns True when the value must be treated as mutable: subclasses of
+    the container types may carry extra mutable state the encoder cannot
+    see, so none of them are ever digest-cached.
+    """
+    if isinstance(o, bool):
+        dest.append(b"b1" if o else b"b0")
+    elif isinstance(o, int):
+        data = b"%d" % o
+        dest.append(b"i" + _length_prefix(data) + data)
+    elif isinstance(o, float):
+        data = repr(o).encode()
+        dest.append(b"f" + _length_prefix(data) + data)
+    elif isinstance(o, str):
+        data = o.encode()
+        dest.append(b"s" + _length_prefix(data) + data)
+    elif isinstance(o, bytes):
+        dest.append(b"y" + _length_prefix(o) + o)
+    elif isinstance(o, (tuple, list)):
+        parts: list[bytes] = []
+        push((_FIN_SEQ, parts, dest))
+        for item in reversed(o):
+            push((_ENC, item, parts))
+        return True
+    elif isinstance(o, frozenset):
+        parts = []
+        push((_FIN_FSET, parts, dest))
+        for item in o:
+            push((_ENC, item, parts))
+        return True
+    elif isinstance(o, dict):
+        parts = []
+        push((_FIN_DICT, parts, dest))
+        for key, value in o.items():
+            push((_ENC, value, parts))
+            push((_ENC, key, parts))
+        return True
+    else:
+        raise TypeError(
+            f"cannot canonically encode {type(o).__name__}: {o!r}"
+        )
+    return False
 
 
 def canonical_encode(obj: Any) -> bytes:
@@ -24,53 +370,72 @@ def canonical_encode(obj: Any) -> bytes:
     (sorted by element encoding), dicts (sorted by key encoding), and any
     object exposing ``_canonical_fields()`` returning a tuple.
     """
-    if obj is None:
-        return b"N"
-    if obj is BOTTOM:
-        return b"_"
-    if isinstance(obj, bool):
-        return b"b1" if obj else b"b0"
-    if isinstance(obj, int):
-        data = str(obj).encode()
-        return b"i" + _length_prefix(data) + data
-    if isinstance(obj, float):
-        data = repr(obj).encode()
-        return b"f" + _length_prefix(data) + data
-    if isinstance(obj, str):
-        data = obj.encode()
-        return b"s" + _length_prefix(data) + data
-    if isinstance(obj, bytes):
-        return b"y" + _length_prefix(obj) + obj
-    if isinstance(obj, (tuple, list)):
-        parts = [canonical_encode(item) for item in obj]
-        body = b"".join(parts)
-        return b"t" + _length_prefix(body) + body
-    if isinstance(obj, frozenset):
-        parts = sorted(canonical_encode(item) for item in obj)
-        body = b"".join(parts)
-        return b"S" + _length_prefix(body) + body
-    if isinstance(obj, dict):
-        parts = sorted(
-            canonical_encode(key) + canonical_encode(value)
-            for key, value in obj.items()
-        )
-        body = b"".join(parts)
-        return b"d" + _length_prefix(body) + body
-    fields = getattr(obj, "_canonical_fields", None)
-    if fields is not None:
-        tag = type(obj).__name__.encode()
-        body = canonical_encode(fields())
-        return b"o" + _length_prefix(tag) + tag + body
-    raise TypeError(f"cannot canonically encode {type(obj).__name__}: {obj!r}")
+    digest_stats.encode_calls += 1
+    return _encode_ex(obj)[0]
 
 
-def _length_prefix(data: bytes) -> bytes:
-    return str(len(data)).encode() + b":"
+# --------------------------------------------------------------------- #
+# digests
+# --------------------------------------------------------------------- #
+
+
+def _is_frozen_holder(t: type) -> bool:
+    """True iff a ``_canonical_fields`` type's own fields cannot be
+    reassigned (frozen dataclass).  The deep-immutability scan sees
+    lists/dicts inside the encoding but not field reassignment, so only
+    frozen holders count as immutable — at any nesting depth.  The type
+    must *itself* be declared a frozen dataclass: a plain subclass merely
+    inherits ``__dataclass_params__`` and may reintroduce mutability, so
+    it is distrusted (like every container subclass)."""
+    if "__dataclass_fields__" not in t.__dict__:
+        return False
+    params = getattr(t, "__dataclass_params__", None)
+    return params is not None and params.frozen
+
+
+def _cacheable(obj: Any) -> bool:
+    """Container types worth memoizing (scalars are cheap to re-encode)."""
+    t = type(obj)
+    if t is tuple or t is frozenset:
+        return True
+    return (
+        getattr(obj, "_canonical_fields", None) is not None
+        and _is_frozen_holder(t)
+    )
+
+
+def digest_ex(obj: Any) -> tuple[bytes, bool]:
+    """SHA-256 digest of ``obj`` plus its *stability*.
+
+    The second element is True iff the value is deeply immutable (no
+    ``list``/``dict``/mutable holder anywhere, even behind nested
+    digests), i.e. the returned digest can never go stale.  Signing and
+    verification use the flag to decide whether a digest may be stamped
+    or a verdict memoized.
+    """
+    hit = _CACHE.get(obj)
+    if hit is not None:
+        digest_stats.cache_hits += 1
+        return hit, True
+    digest_stats.encode_calls += 1
+    encoding, stable = _encode_ex(obj)
+    digest_stats.digests_computed += 1
+    value = _sha256(encoding).digest()
+    if stable and _cacheable(obj):
+        if _CACHE.put(obj, value):
+            digest_stats.cache_evictions += 1
+    return value, stable
 
 
 def digest(obj: Any) -> bytes:
-    """SHA-256 digest of the canonical encoding of ``obj``."""
-    return hashlib.sha256(canonical_encode(obj)).digest()
+    """SHA-256 digest of the canonical encoding of ``obj``.
+
+    Memoized by object identity for deeply immutable container values:
+    re-digesting the same tuple / ``SignedPayload`` / ``Certificate``
+    object is a dict lookup, which is what makes multicast fan-out and
+    quorum re-verification cheap.
+    """
+    return digest_ex(obj)[0]
 
 
 def short_digest(obj: Any) -> str:

@@ -13,18 +13,38 @@ paper's assumption of ideal unforgeability.
 Byzantine behaviors receive the ``Signer`` objects of the corrupted
 parties, so they can sign *anything* with corrupted keys (equivocation,
 double votes) but can never produce honest parties' signatures.
+
+Performance notes.  Signing stamps the payload digest onto the
+:class:`SignedPayload`, and the canonical encoding of a ``SignedPayload``
+is Merkle-style — ``(payload_digest, signature)`` rather than the full
+payload subtree — so countersigning / digesting nested signed values
+reuses child digests instead of re-encoding whole subtrees.  The registry
+additionally keeps a *verified set*: once a ``SignedPayload`` object has
+verified, re-checking the same object (quorum certificates are re-checked
+by every party they reach) is an O(1) identity lookup.
 """
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Any, Iterable
 
-from repro.crypto.messages import digest, short_digest
+from repro.crypto.messages import (
+    DigestOf,
+    IdentityMemo,
+    digest,
+    digest_ex,
+    short_digest,
+)
 from repro.errors import ForgedSignatureError
 from repro.types import PartyId
 
+#: Wholesale-clear threshold for the verified-signature set (mirrors the
+#: digest cache's bulk eviction): re-verifying after a clear is only a
+#: perf hiccup, never a correctness issue.
+_MAX_VERIFIED_ENTRIES = 1 << 18
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, slots=True)
 class Signature:
     """A signature by ``signer`` over the payload with the given digest."""
 
@@ -46,7 +66,18 @@ class SignedPayload:
     ``<v, w>_{L_w, j}``: a leader-signed pair countersigned by ``j``) are
     represented by nesting: the countersigned payload *is* a
     ``SignedPayload`` and is signed again.
+
+    The extra ``_payload_digest`` slot caches ``digest(payload)``: stamped
+    at :meth:`Signer.sign` time, or lazily on first use for objects built
+    directly (adversarial forgeries) — but only when the payload is
+    *stable* (deeply immutable): a payload containing a list/dict is
+    re-digested on every use, so mutation is always observed.  The stamp
+    is a cache, not a claim — the *claimed* digest lives in
+    ``signature.payload_digest`` and :meth:`KeyRegistry.verify` compares
+    a freshly obtained digest against it.
     """
+
+    __slots__ = ("payload", "signature", "_payload_digest")
 
     payload: Any
     signature: Signature
@@ -55,11 +86,55 @@ class SignedPayload:
     def signer(self) -> PartyId:
         return self.signature.signer
 
+    # Manual __slots__ on a frozen dataclass needs explicit state methods:
+    # the default slot restore goes through __setattr__, which frozen
+    # rejects.  (dataclass(slots=True) would generate these, but it cannot
+    # carry the extra non-field _payload_digest slot.)
+    def __getstate__(self):
+        return (
+            self.payload,
+            self.signature,
+            getattr(self, "_payload_digest", None),
+        )
+
+    def __setstate__(self, state) -> None:
+        payload, signature, stamp = state
+        object.__setattr__(self, "payload", payload)
+        object.__setattr__(self, "signature", signature)
+        if stamp is not None:
+            object.__setattr__(self, "_payload_digest", stamp)
+
+    def payload_digest(self) -> bytes:
+        """Digest of ``payload``; stamped on the instance when stable.
+
+        Deep countersign chains (stamped or adversarially fabricated) are
+        handled iteratively by the encoder's :class:`DigestOf` machinery,
+        which also memoizes stable sub-digests along the way — no chain
+        walking or Python-frame recursion happens here.
+        """
+        cached = getattr(self, "_payload_digest", None)
+        if cached is not None:
+            return cached
+        value, stable = digest_ex(self.payload)
+        if stable:
+            object.__setattr__(self, "_payload_digest", value)
+        return value
+
     def __repr__(self) -> str:
         return f"<{self.payload!r}>_{self.signer}"
 
     def _canonical_fields(self) -> tuple:
-        return (self.payload, self.signature)
+        # Merkle-style: nested countersigning hashes the child digest
+        # instead of re-encoding the child's whole payload subtree.
+        # Injective under the paper's ideal-hash assumption.  Unstamped
+        # payloads go through the DigestOf marker so the encoder derives
+        # the sub-digest on its own work stack — adversarially deep
+        # countersign chains never recurse through Python frames, stamped
+        # or not.
+        cached = getattr(self, "_payload_digest", None)
+        if cached is not None:
+            return (cached, self.signature)
+        return (DigestOf(self.payload), self.signature)
 
 
 class Signer:
@@ -80,9 +155,12 @@ class Signer:
 
     def sign(self, payload: Any) -> SignedPayload:
         """Sign ``payload``, registering the signature as issued."""
-        payload_digest = digest(payload)
+        payload_digest, stable = digest_ex(payload)
         self._registry._record(self._party, payload_digest)
-        return SignedPayload(payload, Signature(self._party, payload_digest))
+        signed = SignedPayload(payload, Signature(self._party, payload_digest))
+        if stable:
+            object.__setattr__(signed, "_payload_digest", payload_digest)
+        return signed
 
     def __repr__(self) -> str:
         return f"Signer(p{self._party})"
@@ -102,6 +180,10 @@ class KeyRegistry:
         self._n = n
         self._issued: set[tuple[PartyId, bytes]] = set()
         self._handed_out: set[PartyId] = set()
+        # Verified set: only successful verifications of *stable* payloads
+        # enter (the issued set is append-only and a stable payload's
+        # digest cannot change, so a pass can never later become a fail).
+        self._verified = IdentityMemo(_MAX_VERIFIED_ENTRIES)
 
     @property
     def n(self) -> int:
@@ -120,11 +202,28 @@ class KeyRegistry:
         self._issued.add((party, payload_digest))
 
     def verify(self, signed: SignedPayload) -> bool:
-        """Check that ``signed`` carries a legitimately issued signature."""
+        """Check that ``signed`` carries a legitimately issued signature.
+
+        The first successful check of an object does the digest work; every
+        re-check of the *same object* (certificate entries travel by
+        reference through the simulated network) is an O(1) membership
+        test against the verified set.
+        """
+        if self._verified.get(signed) is not None:
+            return True
         sig = signed.signature
-        if sig.payload_digest != digest(signed.payload):
+        # Never trust the stamp here: recompute (an O(1) memo hit for
+        # stable payloads) so a payload mutated after signing or after an
+        # earlier verify is always caught, exactly like the cache-free
+        # implementation.
+        actual, stable = digest_ex(signed.payload)
+        if sig.payload_digest != actual:
             return False
-        return (sig.signer, sig.payload_digest) in self._issued
+        if (sig.signer, sig.payload_digest) not in self._issued:
+            return False
+        if stable:
+            self._verified.put(signed, True)
+        return True
 
     def require_valid(self, signed: SignedPayload) -> SignedPayload:
         """Like :meth:`verify` but raising on failure; returns its input."""

@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.crypto.messages import IdentityMemo, digest_ex
 from repro.crypto.signatures import KeyRegistry, SignedPayload
 from repro.types import BOTTOM, PartyId, Value
 
@@ -40,6 +41,10 @@ def always_valid(value: Value) -> bool:
 
 
 VAL = "val"
+
+#: Wholesale-clear threshold for the valid-certificate memo; evicting only
+#: costs a re-evaluation, never correctness.
+_MAX_VALID_CACHE_ENTRIES = 1 << 16
 
 
 def make_leader_pair(leader_signer, value: Value, view: int) -> SignedPayload:
@@ -59,7 +64,7 @@ def make_bottom_entry(party_signer, view: int) -> SignedPayload:
     return party_signer.sign((VAL, BOTTOM, view))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ParsedEntry:
     """A validated certificate entry."""
 
@@ -72,7 +77,7 @@ class ParsedEntry:
         return self.value is BOTTOM
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Certificate:
     """A (possibly genesis) certificate: view number plus signed entries."""
 
@@ -138,6 +143,17 @@ class CertificateChecker:
         self.registry = registry
         self.leader_of = leader_of
         self.external_validity = external_validity
+        # Memo of *valid* evaluations.  Certificates are frozen and travel
+        # by reference, and every party that receives one re-evaluates it;
+        # validity is monotone (the registry's issued set only grows) and
+        # ``external_validity`` is assumed to be a pure function of the
+        # value (Definition 5 — a stateful predicate would make replayed
+        # verdicts stale), so a valid verdict can be replayed in O(1).
+        # Invalid verdicts are never cached: an entry that fails today
+        # could in principle verify later.
+        self._valid_cache: IdentityMemo = IdentityMemo(
+            _MAX_VALID_CACHE_ENTRIES
+        )
 
     # ------------------------------------------------------------------ #
     # entry parsing
@@ -183,7 +199,24 @@ class CertificateChecker:
     # ------------------------------------------------------------------ #
 
     def evaluate(self, cert: Certificate) -> CertStatus:
-        """Apply the Figure 2 Certificate Check to ``cert``."""
+        """Apply the Figure 2 Certificate Check to ``cert``.
+
+        Valid results are memoized by certificate object identity, so the
+        per-view re-checks in the psync protocols cost one dict lookup
+        after the first full evaluation.
+        """
+        hit = self._valid_cache.get(cert)
+        if hit is not None:
+            return hit
+        status = self._evaluate_uncached(cert)
+        # Gate on stability like the other memos: an entry value is only
+        # Hashable, so it could be a mutable holder whose later mutation
+        # must re-run the check rather than replay a stale verdict.
+        if status.valid and digest_ex(cert)[1]:
+            self._valid_cache.put(cert, status)
+        return status
+
+    def _evaluate_uncached(self, cert: Certificate) -> CertStatus:
         if cert.is_genesis:
             return CertStatus(valid=True, locked_value=None, locks_any=True)
         parsed: dict[PartyId, ParsedEntry] = {}

@@ -1,20 +1,30 @@
 """Event queue for the deterministic discrete-event simulator.
 
-Events are ordered by ``(time, priority, seq)`` where ``seq`` is the
-insertion sequence number.  The sequence number makes tie-breaking fully
+Events are ordered by ``(time, priority, order_key, seq)`` where ``seq`` is
+the insertion sequence number.  The sequence number makes tie-breaking fully
 deterministic: two events scheduled for the same instant fire in the order
 they were scheduled.  Lower-bound witnesses depend on this reproducibility
 to compare transcripts byte-for-byte across executions.
+
+Cancellation is lazy: :meth:`Event.cancel` only flags the entry, and the
+queue drops flagged entries when they surface at the heap top (or in a bulk
+compaction once they dominate the heap).  Live-entry bookkeeping is kept
+incrementally — ``len(queue)`` and ``bool(queue)`` are O(1), never a heap
+scan — which matters because the scheduler polls the queue once per event.
 """
 from __future__ import annotations
 
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Optional
+
+#: Compaction triggers only past this many cancelled entries (and only when
+#: they outnumber live ones), so small queues never pay the rebuild.
+_COMPACT_MIN_CANCELLED = 64
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class Event:
     """One scheduled callback.  Ordering fields first; payload excluded.
 
@@ -33,10 +43,19 @@ class Event:
     action: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
     label: str = field(default="", compare=False)
+    #: Back-reference to the owning queue while the event sits in its heap;
+    #: cleared on pop so a late ``cancel()`` cannot corrupt the counters.
+    queue: Optional["EventQueue"] = field(
+        default=None, compare=False, repr=False
+    )
 
     def cancel(self) -> None:
         """Mark the event so the scheduler skips it when popped."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.queue is not None:
+            self.queue._note_cancel()
 
 
 class EventQueue:
@@ -45,6 +64,8 @@ class EventQueue:
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._counter = itertools.count()
+        self._live = 0  # non-cancelled events currently in the heap
+        self._cancelled = 0  # cancelled events awaiting lazy removal
 
     def push(
         self,
@@ -58,29 +79,53 @@ class EventQueue:
         """Schedule ``action`` at ``time``; returns a cancellable handle."""
         event = Event(
             time, priority, order_key, next(self._counter), action,
-            label=label,
+            label=label, queue=self,
         )
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     def pop(self) -> Event | None:
         """Remove and return the earliest non-cancelled event, or ``None``."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if not event.cancelled:
-                return event
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)
+            if event.cancelled:
+                self._cancelled -= 1
+                continue
+            event.queue = None
+            self._live -= 1
+            return event
         return None
 
     def peek_time(self) -> float | None:
         """Time of the earliest pending event without removing it."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if self._heap:
-            return self._heap[0].time
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+            self._cancelled -= 1
+        if heap:
+            return heap[0].time
         return None
 
+    def _note_cancel(self) -> None:
+        """Bookkeeping callback from :meth:`Event.cancel` (in-heap only)."""
+        self._live -= 1
+        self._cancelled += 1
+        if (
+            self._cancelled > _COMPACT_MIN_CANCELLED
+            and self._cancelled > self._live
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled entries (amortized O(live))."""
+        self._heap = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
+
     def __len__(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        return self._live
 
     def __bool__(self) -> bool:
-        return self.peek_time() is not None
+        return self._live > 0

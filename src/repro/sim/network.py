@@ -31,7 +31,7 @@ from repro.types import INF, PartyId
 DeliverFn = Callable[[PartyId, Any], None]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Envelope:
     """A message in flight (recorded for statistics and debugging)."""
 
@@ -94,27 +94,7 @@ class Network:
         is Byzantine (the model lets the adversary choose any delay on
         links touching a corrupted party).  ``INF`` drops the message.
         """
-        if not 0 <= recipient < self._n:
-            raise SimulationError(f"recipient {recipient} out of range")
-        send_time = self._sim.now
-        if delay_override is not None:
-            if sender not in self._byzantine and recipient not in self._byzantine:
-                raise SimulationError(
-                    "delay overrides require a Byzantine endpoint "
-                    f"({sender}->{recipient} are both honest)"
-                )
-            delay = delay_override
-        else:
-            delay = self._policy.delay(sender, recipient, payload, send_time)
-        self.messages_sent += 1
-        if delay == INF:
-            return
-        if delay < 0:
-            raise SimulationError(f"policy produced negative delay {delay}")
-        deliver_time = quantize(
-            max(send_time + delay, self._start_offsets[recipient])
-        )
-        self._schedule_delivery(sender, recipient, payload, deliver_time)
+        self._send_one(sender, recipient, payload, delay_override, None)
 
     def multicast(
         self,
@@ -129,16 +109,66 @@ class Network:
         Self-delivery is immediate (a party always "hears" itself with
         zero delay), matching the convention the paper uses when counting
         quorums that include the sender's own vote.
+
+        The scheduling ``order_key`` digest is computed once for the whole
+        fan-out, not once per recipient (and not at all if the adversary
+        drops every copy).
         """
+        order_key = None
         for recipient in range(self._n):
             if recipient == sender:
                 continue
-            self.send(
-                sender, recipient, payload, delay_override=delay_override
+            order_key = self._send_one(
+                sender, recipient, payload, delay_override, order_key
             )
         if include_self:
+            if order_key is None:
+                order_key = digest(payload)
             self.messages_sent += 1
-            self._schedule_delivery(sender, sender, payload, self._sim.now)
+            self._schedule_delivery(
+                sender, sender, payload, self._sim.now, order_key
+            )
+
+    def _send_one(
+        self,
+        sender: PartyId,
+        recipient: PartyId,
+        payload: Any,
+        delay_override: float | None,
+        order_key: bytes | None,
+    ) -> bytes | None:
+        """Send one copy; returns the order key once a delivery needed it.
+
+        ``order_key=None`` defers the digest until a copy is actually
+        scheduled — a message the adversary withholds forever is never
+        encoded at all (matching the pre-cache behavior).
+        """
+        if not 0 <= recipient < self._n:
+            raise SimulationError(f"recipient {recipient} out of range")
+        send_time = self._sim.now
+        if delay_override is not None:
+            if sender not in self._byzantine and recipient not in self._byzantine:
+                raise SimulationError(
+                    "delay overrides require a Byzantine endpoint "
+                    f"({sender}->{recipient} are both honest)"
+                )
+            delay = delay_override
+        else:
+            delay = self._policy.delay(sender, recipient, payload, send_time)
+        self.messages_sent += 1
+        if delay == INF:
+            return order_key
+        if delay < 0:
+            raise SimulationError(f"policy produced negative delay {delay}")
+        deliver_time = quantize(
+            max(send_time + delay, self._start_offsets[recipient])
+        )
+        if order_key is None:
+            order_key = digest(payload)
+        self._schedule_delivery(
+            sender, recipient, payload, deliver_time, order_key
+        )
+        return order_key
 
     def _schedule_delivery(
         self,
@@ -146,6 +176,7 @@ class Network:
         recipient: PartyId,
         payload: Any,
         deliver_time: float,
+        order_key: bytes,
     ) -> None:
         msg_id = (
             self._accountant.register_send()
@@ -159,7 +190,7 @@ class Network:
         self._sim.schedule_at(
             deliver_time,
             lambda: self._deliver(sender, recipient, payload, msg_id),
-            order_key=digest(payload),
+            order_key=order_key,
             label=f"deliver {sender}->{recipient}",
         )
 

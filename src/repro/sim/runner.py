@@ -142,6 +142,7 @@ class World:
             start_offsets=list(self.start_offsets),
             messages_sent=self.network.messages_sent,
             final_time=self.sim.now,
+            events_processed=self.sim.events_processed,
         )
 
 
@@ -158,6 +159,7 @@ class RunResult:
     start_offsets: list[float] = field(default_factory=list)
     messages_sent: int = 0
     final_time: float = 0.0
+    events_processed: int = 0
 
     @property
     def honest_ids(self) -> list[PartyId]:

@@ -61,6 +61,58 @@ class TestEventQueue:
         handle.cancel()
         assert queue.peek_time() is None
 
+    def test_len_is_tracked_incrementally(self):
+        queue = EventQueue()
+        handles = [queue.push(float(i), lambda: None) for i in range(10)]
+        assert len(queue) == 10
+        for handle in handles[::2]:
+            handle.cancel()
+        assert len(queue) == 5
+        queue.pop()
+        assert len(queue) == 4
+        for handle in handles:
+            handle.cancel()  # double-cancel must not corrupt the count
+        assert len(queue) == 0
+        assert not queue
+
+    def test_cancel_after_pop_does_not_corrupt_count(self):
+        queue = EventQueue()
+        handle = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        popped = queue.pop()
+        assert popped is handle
+        handle.cancel()  # already out of the heap: must be a no-op
+        assert len(queue) == 1
+        assert queue.pop() is not None
+        assert queue.pop() is None
+        assert len(queue) == 0
+
+    def test_mass_cancellation_compacts_lazily(self):
+        queue = EventQueue()
+        handles = [queue.push(float(i), lambda: None) for i in range(500)]
+        for handle in handles[:499]:
+            handle.cancel()
+        # Compaction kicked in: the heap no longer holds the dead entries.
+        assert len(queue._heap) < 500
+        assert len(queue) == 1
+        event = queue.pop()
+        assert event is handles[499]
+        assert queue.pop() is None
+
+    def test_order_preserved_across_compaction(self):
+        queue = EventQueue()
+        fired = []
+        handles = [
+            queue.push(float(i), lambda i=i: fired.append(i))
+            for i in range(300)
+        ]
+        for i, handle in enumerate(handles):
+            if i % 3 != 0:
+                handle.cancel()
+        while (event := queue.pop()) is not None:
+            event.action()
+        assert fired == [i for i in range(300) if i % 3 == 0]
+
 
 class TestSimulator:
     def test_time_advances_monotonically(self):

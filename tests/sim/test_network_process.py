@@ -46,6 +46,21 @@ class TestNetworkDelivery:
         world.run()
         assert not world.agents[0].has_committed
 
+    def test_fully_dropped_multicast_never_digests(self):
+        # A payload the adversary withholds on every link is never
+        # scheduled, so its order-key digest must never be computed.
+        from repro.crypto.messages import clear_digest_cache, digest_stats
+
+        policy = PerLinkDelay({(0, 1): INF, (0, 2): INF}, default=1.0)
+        world = World(n=3, f=0, delay_policy=policy)
+        world.populate(EchoParty)
+        clear_digest_cache()
+        digest_stats.reset()
+        world.run()
+        assert digest_stats.digests_computed == 0
+        assert world.network.messages_sent == 2  # sends counted, not delivered
+        clear_digest_cache()
+
     def test_message_counters(self):
         world = World(n=4, f=0, delay_policy=FixedDelay(1.0))
         world.populate(EchoParty)
