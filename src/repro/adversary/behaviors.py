@@ -176,6 +176,9 @@ class _InnerWorld:
         self.start_offsets = outer.start_offsets
         self.registry = _SharedSignerRegistry(outer.registry, behavior.signer)
         self.network = _InterceptingNetwork(behavior, brain_key)
+        # Share the outer world's observability mode: under "perf" the
+        # inner brain must not pay for transcripts either.
+        self.instrumentation = outer.instrumentation
 
     def note_commit(self, party: PartyId) -> None:
         """Inner commits are the adversary's business, not the harness's."""

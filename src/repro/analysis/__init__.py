@@ -1,4 +1,5 @@
 """Measurement, Table 1 regeneration, and figure sweeps."""
+from repro.analysis.engine import SweepEngine, SweepTask, point_seed
 from repro.analysis.latency import (
     LatencyMeasurement,
     measure_round_good_case,
@@ -9,20 +10,25 @@ from repro.analysis.sweeps import (
     sweep_async_rounds,
     sweep_dishonest_majority,
     sweep_fig9_tradeoff,
+    sweep_random_delays,
     sweep_sync_regimes,
 )
 from repro.analysis.table1 import Table1Row, format_table, generate_table1
 
 __all__ = [
     "LatencyMeasurement",
+    "SweepEngine",
     "SweepPoint",
+    "SweepTask",
     "Table1Row",
     "format_table",
     "generate_table1",
     "measure_round_good_case",
     "measure_sync_good_case",
+    "point_seed",
     "sweep_async_rounds",
     "sweep_dishonest_majority",
     "sweep_fig9_tradeoff",
+    "sweep_random_delays",
     "sweep_sync_regimes",
 ]

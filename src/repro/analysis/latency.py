@@ -41,9 +41,15 @@ def measure_sync_good_case(
     input_value: Any = "v",
     skew_pattern: str = "staggered",
     until: float | None = None,
+    instrumentation: str | None = None,
     **protocol_kwargs: Any,
 ) -> LatencyMeasurement:
-    """Good-case latency (time units) of a synchronous protocol."""
+    """Good-case latency (time units) of a synchronous protocol.
+
+    ``instrumentation`` selects an observability preset (``"full"`` /
+    ``"rounds"`` / ``"perf"``); time latency only needs commit times, so
+    every preset yields the same measurement.
+    """
     protocol_kwargs.setdefault("big_delta", model.big_delta)
     result = run_broadcast(
         n=n,
@@ -56,6 +62,7 @@ def measure_sync_good_case(
         delay_policy=model.worst_case_policy(),
         start_offsets=model.offsets(n, pattern=skew_pattern),
         until=until,
+        instrumentation=instrumentation,
     )
     origin = model.offsets(n, pattern=skew_pattern)[broadcaster]
     return LatencyMeasurement(
@@ -78,9 +85,15 @@ def measure_round_good_case(
     broadcaster: PartyId = 0,
     input_value: Any = "v",
     until: float | None = None,
+    instrumentation: str | None = None,
     **protocol_kwargs: Any,
 ) -> LatencyMeasurement:
-    """Good-case latency (Canetti-Rabin rounds) under async / psync."""
+    """Good-case latency (Canetti-Rabin rounds) under async / psync.
+
+    With ``instrumentation="perf"`` the run records no steps, so
+    ``round_latency`` comes back ``None`` (commits and message counts are
+    unaffected — that is the mode's contract).
+    """
     if model is None:
         model = AsynchronyModel()
     if isinstance(model, PartialSynchronyModel):
@@ -97,13 +110,16 @@ def measure_round_good_case(
         ),
         delay_policy=policy,
         until=until,
+        instrumentation=instrumentation,
     )
     return LatencyMeasurement(
         protocol=protocol_cls.__name__,
         n=n,
         f=f,
         time_latency=None,
-        round_latency=result.round_latency(),
+        round_latency=(
+            result.round_latency() if result.rounds_recorded else None
+        ),
         messages=result.messages_sent,
         result=result,
     )

@@ -2,11 +2,19 @@
 
 Each function returns plain data (lists of points) so benchmarks,
 examples and tests can assert on shapes without plotting dependencies.
+
+Every sweep is expressed as a grid of independent, module-level *point
+functions* executed through :class:`~repro.analysis.engine.SweepEngine`:
+pass ``engine=SweepEngine(workers=K)`` to fan a grid out over K worker
+processes (results are identical to the serial default — the engine's
+determinism contract), and ``instrumentation="rounds"``/``"perf"`` to
+shed transcript/accounting overhead on large grids.
 """
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.analysis.engine import SweepEngine, SweepTask
 from repro.analysis.latency import (
     measure_round_good_case,
     measure_sync_good_case,
@@ -31,10 +39,68 @@ class SweepPoint:
     label: str
 
 
+def _default_engine(engine: SweepEngine | None) -> SweepEngine:
+    return engine if engine is not None else SweepEngine()
+
+
+#: Synchronous-regime series specs: protocol, resilience point, timing
+#: model variant, and per-point kwargs.  The point function looks specs up
+#: by name so grid tasks ship only plain picklable data to the workers.
+_SYNC_SERIES: dict[str, dict] = {
+    "2delta (f<n/3)": dict(
+        cls=Bb2Delta, n=7, f=2, model="unsync", label="Fig 10"
+    ),
+    "Delta+delta (f=n/3)": dict(
+        cls=BbDeltaDeltaN3, n=6, f=2, model="sync", label="Fig 5"
+    ),
+    "Delta+delta (sync start)": dict(
+        cls=BbDeltaDeltaSync, n=5, f=2, model="sync", label="Fig 6",
+        kwargs=dict(skew_pattern="zero"),
+    ),
+    "Delta+1.5delta (unsync)": dict(
+        cls=BbDelta15Delta, n=5, f=2, model="unsync", label="Fig 9",
+        d_grid_from_delta=True,
+    ),
+    "Delta+2delta (baseline)": dict(
+        cls=BbDelta2Delta, n=5, f=2, model="unsync", label="[4]"
+    ),
+    "DolevStrong (worst-case)": dict(
+        cls=DolevStrongBb, n=5, f=2, model="sync", label="Dolev-Strong",
+        kwargs=dict(until=1000.0),
+    ),
+}
+
+
+def _sync_regime_point(
+    *,
+    series: str,
+    delta: float,
+    big_delta: float,
+    instrumentation: str = "full",
+) -> SweepPoint:
+    spec = _SYNC_SERIES[series]
+    skew = delta if spec["model"] == "unsync" else 0.0
+    model = SynchronyModel(delta=delta, big_delta=big_delta, skew=skew)
+    kwargs = dict(spec.get("kwargs", {}))
+    if spec.get("d_grid_from_delta"):
+        kwargs["d_grid"] = [delta, big_delta]
+    meas = measure_sync_good_case(
+        spec["cls"],
+        n=spec["n"],
+        f=spec["f"],
+        model=model,
+        instrumentation=instrumentation,
+        **kwargs,
+    )
+    return SweepPoint(delta, meas.time_latency, spec["label"])
+
+
 def sweep_sync_regimes(
     *,
     deltas: list[float],
     big_delta: float = 1.0,
+    engine: SweepEngine | None = None,
+    instrumentation: str = "full",
 ) -> dict[str, list[SweepPoint]]:
     """Latency vs delta/Delta for every synchronous regime (Table 1 rows).
 
@@ -42,74 +108,46 @@ def sweep_sync_regimes(
     Delta + delta, Delta + 1.5*delta, Delta + 2*delta, and the flat
     (f+1)*2*Delta worst-case baseline.
     """
-    series: dict[str, list[SweepPoint]] = {
-        "2delta (f<n/3)": [],
-        "Delta+delta (f=n/3)": [],
-        "Delta+delta (sync start)": [],
-        "Delta+1.5delta (unsync)": [],
-        "Delta+2delta (baseline)": [],
-        "DolevStrong (worst-case)": [],
-    }
-    for delta in deltas:
-        unsync = SynchronyModel(delta=delta, big_delta=big_delta, skew=delta)
-        sync = SynchronyModel(delta=delta, big_delta=big_delta, skew=0.0)
-        series["2delta (f<n/3)"].append(
-            SweepPoint(
-                delta,
-                measure_sync_good_case(
-                    Bb2Delta, n=7, f=2, model=unsync
-                ).time_latency,
-                "Fig 10",
-            )
+    engine = _default_engine(engine)
+    names = list(_SYNC_SERIES)
+    tasks = [
+        SweepTask(
+            _sync_regime_point,
+            dict(
+                series=name,
+                delta=delta,
+                big_delta=big_delta,
+                instrumentation=instrumentation,
+            ),
+            key=(name, delta),
         )
-        series["Delta+delta (f=n/3)"].append(
-            SweepPoint(
-                delta,
-                measure_sync_good_case(
-                    BbDeltaDeltaN3, n=6, f=2, model=sync
-                ).time_latency,
-                "Fig 5",
-            )
-        )
-        series["Delta+delta (sync start)"].append(
-            SweepPoint(
-                delta,
-                measure_sync_good_case(
-                    BbDeltaDeltaSync, n=5, f=2, model=sync,
-                    skew_pattern="zero",
-                ).time_latency,
-                "Fig 6",
-            )
-        )
-        series["Delta+1.5delta (unsync)"].append(
-            SweepPoint(
-                delta,
-                measure_sync_good_case(
-                    BbDelta15Delta, n=5, f=2, model=unsync,
-                    d_grid=[delta, big_delta],
-                ).time_latency,
-                "Fig 9",
-            )
-        )
-        series["Delta+2delta (baseline)"].append(
-            SweepPoint(
-                delta,
-                measure_sync_good_case(
-                    BbDelta2Delta, n=5, f=2, model=unsync
-                ).time_latency,
-                "[4]",
-            )
-        )
-        series["DolevStrong (worst-case)"].append(
-            SweepPoint(
-                delta,
-                measure_sync_good_case(
-                    DolevStrongBb, n=5, f=2, model=sync, until=1000.0
-                ).time_latency,
-                "Dolev-Strong",
-            )
-        )
+        for name in names
+        for delta in deltas
+    ]
+    results = engine.run(tasks)
+    series: dict[str, list[SweepPoint]] = {name: [] for name in names}
+    for task, point in zip(tasks, results):
+        series[task.key[0]].append(point)
     return series
+
+
+def _fig9_point(
+    *,
+    m: int,
+    delta: float,
+    big_delta: float,
+    instrumentation: str = "full",
+) -> SweepPoint:
+    model = SynchronyModel(delta=delta, big_delta=big_delta, skew=0.0)
+    meas = measure_sync_good_case(
+        BbDelta15Delta,
+        n=5,
+        f=2,
+        model=model,
+        grid_samples=m,
+        instrumentation=instrumentation,
+    )
+    return SweepPoint(m, meas.time_latency, f"m={m}")
 
 
 def sweep_fig9_tradeoff(
@@ -117,68 +155,170 @@ def sweep_fig9_tradeoff(
     grid_sizes: list[int],
     delta: float = 0.3,
     big_delta: float = 1.0,
+    engine: SweepEngine | None = None,
+    instrumentation: str = "full",
 ) -> list[SweepPoint]:
     """The Figure 9 communication/latency tradeoff: m samples of d.
 
     The paper: m uniform samples give ``(1 + 1/(2m)) * Delta + 1.5*delta``
     with O(m n^2) messages.  Returns measured latency per m.
     """
-    model = SynchronyModel(delta=delta, big_delta=big_delta, skew=0.0)
-    points = []
-    for m in grid_sizes:
-        meas = measure_sync_good_case(
-            BbDelta15Delta, n=5, f=2, model=model, grid_samples=m
-        )
-        points.append(SweepPoint(m, meas.time_latency, f"m={m}"))
-    return points
+    engine = _default_engine(engine)
+    return engine.map(
+        _fig9_point,
+        [
+            dict(
+                m=m,
+                delta=delta,
+                big_delta=big_delta,
+                instrumentation=instrumentation,
+            )
+            for m in grid_sizes
+        ],
+        keys=grid_sizes,
+    )
+
+
+def _dishonest_majority_point(
+    *,
+    n: int,
+    f: int,
+    big_delta: float,
+    instrumentation: str = "full",
+) -> dict:
+    model = SynchronyModel(delta=big_delta, big_delta=big_delta, skew=0.0)
+    meas = measure_sync_good_case(
+        WanStyleBb,
+        n=n,
+        f=f,
+        model=model,
+        skew_pattern="zero",
+        instrumentation=instrumentation,
+    )
+    return {
+        "n": n,
+        "f": f,
+        "ratio": n / (n - f),
+        "latency": meas.time_latency,
+        "lower_bound": (n // (n - f) - 1) * big_delta,
+        "upper_shape": (1 + trustcast_rounds(n, f)) * big_delta,
+    }
 
 
 def sweep_dishonest_majority(
     *,
     configs: list[tuple[int, int]],
     big_delta: float = 1.0,
+    engine: SweepEngine | None = None,
+    instrumentation: str = "full",
 ) -> list[dict]:
     """Good-case latency vs n/(n-f) for the f >= n/2 regime.
 
     Returns one record per (n, f) with the measured latency, the paper's
     lower bound, and the expected upper-bound shape.
     """
-    model = SynchronyModel(delta=big_delta, big_delta=big_delta, skew=0.0)
-    records = []
-    for n, f in configs:
-        meas = measure_sync_good_case(
-            WanStyleBb, n=n, f=f, model=model, skew_pattern="zero"
-        )
-        records.append(
-            {
-                "n": n,
-                "f": f,
-                "ratio": n / (n - f),
-                "latency": meas.time_latency,
-                "lower_bound": (n // (n - f) - 1) * big_delta,
-                "upper_shape": (1 + trustcast_rounds(n, f)) * big_delta,
-            }
-        )
-    return records
+    engine = _default_engine(engine)
+    return engine.map(
+        _dishonest_majority_point,
+        [
+            dict(
+                n=n,
+                f=f,
+                big_delta=big_delta,
+                instrumentation=instrumentation,
+            )
+            for n, f in configs
+        ],
+        keys=configs,
+    )
 
 
-def sweep_async_rounds(*, configs: list[tuple[int, int]]) -> list[dict]:
-    """Round latency of the async/psync protocols across system sizes."""
+def _async_rounds_point(*, n: int, f: int) -> dict:
+    # Round latency needs round accounting, so these points always run
+    # with (at least) "rounds" instrumentation.
     from repro.protocols.brb_2round import Brb2Round
     from repro.protocols.brb_bracha import BrachaBrb
 
-    records = []
-    for n, f in configs:
-        records.append(
-            {
-                "n": n,
-                "f": f,
-                "brb_2round": measure_round_good_case(
-                    Brb2Round, n=n, f=f
-                ).round_latency,
-                "bracha": measure_round_good_case(
-                    BrachaBrb, n=n, f=f
-                ).round_latency,
-            }
+    return {
+        "n": n,
+        "f": f,
+        "brb_2round": measure_round_good_case(
+            Brb2Round, n=n, f=f, instrumentation="rounds"
+        ).round_latency,
+        "bracha": measure_round_good_case(
+            BrachaBrb, n=n, f=f, instrumentation="rounds"
+        ).round_latency,
+    }
+
+
+def sweep_async_rounds(
+    *,
+    configs: list[tuple[int, int]],
+    engine: SweepEngine | None = None,
+) -> list[dict]:
+    """Round latency of the async/psync protocols across system sizes."""
+    engine = _default_engine(engine)
+    return engine.map(
+        _async_rounds_point,
+        [dict(n=n, f=f) for n, f in configs],
+        keys=configs,
+    )
+
+
+def _random_delay_point(
+    *,
+    n: int,
+    f: int,
+    delta: float,
+    seed: int,
+    instrumentation: str = "perf",
+) -> dict:
+    from repro.protocols.brb_2round import Brb2Round
+    from repro.sim.delays import UniformDelay
+    from repro.sim.runner import run_broadcast
+
+    result = run_broadcast(
+        n=n,
+        f=f,
+        party_factory=Brb2Round.factory(broadcaster=0, input_value="v"),
+        delay_policy=UniformDelay(0.0, delta, seed=seed),
+        instrumentation=instrumentation,
+    )
+    return {
+        "n": n,
+        "f": f,
+        "seed": seed,
+        "latency": result.latency_from(0.0),
+        "messages": result.messages_sent,
+        "all_committed": result.all_honest_committed(),
+    }
+
+
+def sweep_random_delays(
+    *,
+    n: int,
+    f: int,
+    samples: int,
+    delta: float = 1.0,
+    engine: SweepEngine | None = None,
+    instrumentation: str = "perf",
+) -> list[dict]:
+    """Average-case BRB completion under seeded i.i.d. delays in [0, delta].
+
+    Each of the ``samples`` points runs under a *deterministic per-point
+    seed* derived from the engine's ``base_seed`` (the engine injects it),
+    so the whole distribution reproduces bit-for-bit at any worker count.
+    The worst-case sweeps above are the paper's bounds; this one samples
+    the gap between them and typical executions.
+    """
+    engine = _default_engine(engine)
+    tasks = [
+        SweepTask(
+            _random_delay_point,
+            dict(n=n, f=f, delta=delta, instrumentation=instrumentation),
+            key=("random-delay", n, f, index),
+            inject_seed=True,
         )
-    return records
+        for index in range(samples)
+    ]
+    return engine.run(tasks)

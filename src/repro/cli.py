@@ -24,10 +24,15 @@ def _cmd_table1(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.analysis import sweep_sync_regimes
+    from repro.analysis import SweepEngine, sweep_sync_regimes
 
     deltas = [float(d) for d in args.deltas.split(",")]
-    series = sweep_sync_regimes(deltas=deltas, big_delta=args.big_delta)
+    series = sweep_sync_regimes(
+        deltas=deltas,
+        big_delta=args.big_delta,
+        engine=SweepEngine(workers=args.workers),
+        instrumentation=args.instrumentation,
+    )
     names = list(series)
     print(f"{'delta':>7} | " + " | ".join(f"{n:>24}" for n in names))
     for index, delta in enumerate(deltas):
@@ -124,6 +129,18 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("sweep", help="synchronous latency spectrum")
     p.add_argument("--deltas", default="0.1,0.25,0.5,1.0")
     p.add_argument("--big-delta", dest="big_delta", type=float, default=1.0)
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the sweep grid (1 = in-process)",
+    )
+    p.add_argument(
+        "--instrumentation",
+        choices=["full", "rounds", "perf"],
+        default="full",
+        help="observability preset for each simulated point",
+    )
     p.set_defaults(fn=_cmd_sweep)
 
     p = sub.add_parser("witness", help="run a lower-bound witness")

@@ -9,6 +9,13 @@ from repro.sim.delays import (
     UniformDelay,
 )
 from repro.sim.events import Event, EventQueue
+from repro.sim.instrumentation import (
+    Instrumentation,
+    full_instrumentation,
+    perf_instrumentation,
+    resolve_instrumentation,
+    rounds_instrumentation,
+)
 from repro.sim.network import Envelope, Network
 from repro.sim.process import Agent, Party
 from repro.sim.runner import RunResult, World, run_broadcast
@@ -29,6 +36,7 @@ __all__ = [
     "FixedDelay",
     "FunctionDelay",
     "GstDelay",
+    "Instrumentation",
     "LocalClock",
     "Network",
     "Party",
@@ -40,7 +48,11 @@ __all__ = [
     "UniformDelay",
     "World",
     "first_divergence",
+    "full_instrumentation",
     "indistinguishable",
+    "perf_instrumentation",
+    "resolve_instrumentation",
+    "rounds_instrumentation",
     "run_broadcast",
     "skewed_offsets",
 ]

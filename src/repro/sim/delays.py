@@ -17,7 +17,7 @@ assignments in the paper's lower-bound constructions.
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, Mapping
+from typing import Any, Callable, Mapping, Sequence
 
 from repro.types import INF, PartyId
 
@@ -33,6 +33,27 @@ class DelayPolicy:
         send_time: float,
     ) -> float:
         raise NotImplementedError
+
+    def delays_for_multicast(
+        self,
+        sender: PartyId,
+        recipients: Sequence[PartyId],
+        payload: Any,
+        send_time: float,
+    ) -> list[float]:
+        """Delays for one multicast fan-out, one entry per recipient.
+
+        The base implementation calls :meth:`delay` once per recipient in
+        recipient order, so adversarial/scripted policies keep their exact
+        per-message semantics (including any internal state consumption)
+        without overriding anything.  Simple policies override this with a
+        vectorized sample so the honest fan-out costs one call per
+        multicast instead of n.
+        """
+        return [
+            self.delay(sender, recipient, payload, send_time)
+            for recipient in recipients
+        ]
 
     def max_honest_delay(self) -> float:
         """Upper bound this policy guarantees for honest-pair messages.
@@ -54,6 +75,11 @@ class FixedDelay(DelayPolicy):
     def delay(self, sender, recipient, payload, send_time) -> float:
         return self.value
 
+    def delays_for_multicast(
+        self, sender, recipients, payload, send_time
+    ) -> list[float]:
+        return [self.value] * len(recipients)
+
     def max_honest_delay(self) -> float:
         return self.value
 
@@ -74,6 +100,14 @@ class UniformDelay(DelayPolicy):
 
     def delay(self, sender, recipient, payload, send_time) -> float:
         return self._rng.uniform(self.low, self.high)
+
+    def delays_for_multicast(
+        self, sender, recipients, payload, send_time
+    ) -> list[float]:
+        # One uniform draw per recipient, in recipient order: consumes the
+        # RNG stream exactly as n per-recipient calls would.
+        uniform = self._rng.uniform
+        return [uniform(self.low, self.high) for _ in recipients]
 
     def max_honest_delay(self) -> float:
         return self.high
@@ -105,6 +139,16 @@ class PerLinkDelay(DelayPolicy):
 
     def delay(self, sender, recipient, payload, send_time) -> float:
         return self.links.get((sender, recipient), self.default)
+
+    def delays_for_multicast(
+        self, sender, recipients, payload, send_time
+    ) -> list[float]:
+        links = self.links
+        default = self.default
+        return [
+            links.get((sender, recipient), default)
+            for recipient in recipients
+        ]
 
     def max_honest_delay(self) -> float:
         finite = [v for v in self.links.values() if v != INF]
@@ -149,14 +193,23 @@ class GstDelay(DelayPolicy):
         self.pre_gst = pre_gst
 
     def delay(self, sender, recipient, payload, send_time) -> float:
-        latest_delivery = max(send_time, self.gst) + self.big_delta
-        if send_time >= self.gst:
-            requested = min(
-                self.pre_gst.delay(sender, recipient, payload, send_time),
-                self.big_delta,
-            )
-            return requested
         requested = self.pre_gst.delay(sender, recipient, payload, send_time)
+        return self._cap(requested, send_time)
+
+    def delays_for_multicast(
+        self, sender, recipients, payload, send_time
+    ) -> list[float]:
+        # Batch through the wrapped policy (consuming its state exactly as
+        # per-recipient calls would), then apply the GST cap elementwise.
+        requested = self.pre_gst.delays_for_multicast(
+            sender, recipients, payload, send_time
+        )
+        return [self._cap(value, send_time) for value in requested]
+
+    def _cap(self, requested: float, send_time: float) -> float:
+        if send_time >= self.gst:
+            return min(requested, self.big_delta)
+        latest_delivery = max(send_time, self.gst) + self.big_delta
         return min(send_time + requested, latest_delivery) - send_time
 
     def max_honest_delay(self) -> float:

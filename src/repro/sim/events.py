@@ -59,10 +59,16 @@ class Event:
 
 
 class EventQueue:
-    """A deterministic min-heap of :class:`Event` objects."""
+    """A deterministic min-heap of :class:`Event` objects.
+
+    Heap entries are ``(time, priority, order_key, seq, event)`` tuples:
+    ``seq`` is unique, so comparisons always resolve within the plain-data
+    prefix and run entirely in C — the generated ``Event.__lt__`` never
+    enters the heap's hot path.
+    """
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: list[tuple[float, int, bytes, int, Event]] = []
         self._counter = itertools.count()
         self._live = 0  # non-cancelled events currently in the heap
         self._cancelled = 0  # cancelled events awaiting lazy removal
@@ -77,11 +83,11 @@ class EventQueue:
         label: str = "",
     ) -> Event:
         """Schedule ``action`` at ``time``; returns a cancellable handle."""
+        seq = next(self._counter)
         event = Event(
-            time, priority, order_key, next(self._counter), action,
-            label=label, queue=self,
+            time, priority, order_key, seq, action, label=label, queue=self,
         )
-        heapq.heappush(self._heap, event)
+        heapq.heappush(self._heap, (time, priority, order_key, seq, event))
         self._live += 1
         return event
 
@@ -89,7 +95,7 @@ class EventQueue:
         """Remove and return the earliest non-cancelled event, or ``None``."""
         heap = self._heap
         while heap:
-            event = heapq.heappop(heap)
+            event = heapq.heappop(heap)[4]
             if event.cancelled:
                 self._cancelled -= 1
                 continue
@@ -101,11 +107,11 @@ class EventQueue:
     def peek_time(self) -> float | None:
         """Time of the earliest pending event without removing it."""
         heap = self._heap
-        while heap and heap[0].cancelled:
+        while heap and heap[0][4].cancelled:
             heapq.heappop(heap)
             self._cancelled -= 1
         if heap:
-            return heap[0].time
+            return heap[0][0]
         return None
 
     def _note_cancel(self) -> None:
@@ -120,7 +126,7 @@ class EventQueue:
 
     def _compact(self) -> None:
         """Rebuild the heap without cancelled entries (amortized O(live))."""
-        self._heap = [e for e in self._heap if not e.cancelled]
+        self._heap = [entry for entry in self._heap if not entry[4].cancelled]
         heapq.heapify(self._heap)
         self._cancelled = 0
 

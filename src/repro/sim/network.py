@@ -3,29 +3,36 @@
 The network realizes the paper's adversarial message scheduling:
 
 * every message's delay comes from the :class:`~repro.sim.delays.DelayPolicy`
-  (the adversary's schedule);
+  (the adversary's schedule); honest multicast fan-outs sample one delay
+  *vector* per multicast via
+  :meth:`~repro.sim.delays.DelayPolicy.delays_for_multicast` instead of n
+  per-recipient calls;
 * messages touching a Byzantine endpoint may additionally carry an explicit
   per-message ``delay_override`` (Byzantine parties "postpone sending or
   reading" to simulate arbitrary delays, including infinity);
 * messages that arrive before the recipient has started its protocol are
   buffered and handed over at the recipient's start (local time 0).
 
-Deliveries are recorded as atomic steps with the
-:class:`~repro.sim.rounds.RoundAccountant` so that asynchronous round
-latency (Definitions 9-10) can be computed after the run.
+Observability is routed through the world's
+:class:`~repro.sim.instrumentation.Instrumentation` bundle: deliveries are
+recorded as atomic steps with the accountant (for Definition 9-10 round
+latency) and in-flight messages are captured as envelopes — both only when
+the bundle enables them; a disabled observer costs the hot path nothing.
 """
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.errors import SimulationError
 from repro.crypto.messages import digest
 from repro.sim.clock import quantize
 from repro.sim.delays import DelayPolicy
-from repro.sim.rounds import RoundAccountant
 from repro.sim.scheduler import Simulator
 from repro.types import INF, PartyId
+
+if TYPE_CHECKING:
+    from repro.sim.instrumentation import Instrumentation
 
 #: Delivery callback: (sender, payload) -> None
 DeliverFn = Callable[[PartyId, Any], None]
@@ -53,8 +60,7 @@ class Network:
         n: int,
         byzantine: frozenset[PartyId] = frozenset(),
         start_offsets: list[float] | None = None,
-        accountant: RoundAccountant | None = None,
-        record_envelopes: bool = False,
+        instrumentation: "Instrumentation | None" = None,
     ):
         self._sim = sim
         self._policy = policy
@@ -64,15 +70,24 @@ class Network:
         if len(self._start_offsets) != n:
             raise SimulationError("start_offsets length must equal n")
         self._inboxes: dict[PartyId, DeliverFn] = {}
-        self._accountant = accountant
+        # Bind the observers once; ``None`` dead-strips their hot-path use.
+        self._accountant = (
+            instrumentation.accountant if instrumentation is not None else None
+        )
+        self._envelopes = (
+            instrumentation.envelopes if instrumentation is not None else None
+        )
         self.messages_sent = 0
         self.messages_delivered = 0
-        self.envelopes: list[Envelope] = []
-        self._record = record_envelopes
 
     @property
     def n(self) -> int:
         return self._n
+
+    @property
+    def envelopes(self) -> list[Envelope]:
+        """Captured in-flight messages (empty unless capture is enabled)."""
+        return self._envelopes if self._envelopes is not None else []
 
     def attach(self, party: PartyId, deliver: DeliverFn) -> None:
         """Register the delivery callback for ``party``."""
@@ -110,24 +125,56 @@ class Network:
         zero delay), matching the convention the paper uses when counting
         quorums that include the sender's own vote.
 
-        The scheduling ``order_key`` digest is computed once for the whole
-        fan-out, not once per recipient (and not at all if the adversary
-        drops every copy).
+        The whole fan-out samples **one delay vector** from the policy
+        (``delays_for_multicast``) and computes **one** scheduling
+        ``order_key`` digest — and none at all if the adversary drops
+        every copy.  Byzantine ``delay_override`` fan-outs keep the exact
+        per-recipient path (the override, not the policy, sets the delay).
         """
+        if delay_override is not None:
+            order_key = None
+            for recipient in range(self._n):
+                if recipient == sender:
+                    continue
+                order_key = self._send_one(
+                    sender, recipient, payload, delay_override, order_key
+                )
+            self._deliver_self(sender, payload, include_self, order_key)
+            return
+
+        recipients = [r for r in range(self._n) if r != sender]
+        delays = self._policy.delays_for_multicast(
+            sender, recipients, payload, self._sim.now
+        )
+        if len(delays) != len(recipients):
+            raise SimulationError(
+                f"policy returned {len(delays)} delays for "
+                f"{len(recipients)} recipients"
+            )
+        send_time = self._sim.now
         order_key = None
-        for recipient in range(self._n):
-            if recipient == sender:
-                continue
-            order_key = self._send_one(
-                sender, recipient, payload, delay_override, order_key
+        self.messages_sent += len(recipients)
+        for recipient, delay in zip(recipients, delays):
+            order_key = self._schedule_copy(
+                sender, recipient, payload, delay, send_time, order_key
             )
-        if include_self:
-            if order_key is None:
-                order_key = digest(payload)
-            self.messages_sent += 1
-            self._schedule_delivery(
-                sender, sender, payload, self._sim.now, order_key
-            )
+        self._deliver_self(sender, payload, include_self, order_key)
+
+    def _deliver_self(
+        self,
+        sender: PartyId,
+        payload: Any,
+        include_self: bool,
+        order_key: bytes | None,
+    ) -> None:
+        if not include_self:
+            return
+        if order_key is None:
+            order_key = digest(payload)
+        self.messages_sent += 1
+        self._schedule_delivery(
+            sender, sender, payload, self._sim.now, order_key
+        )
 
     def _send_one(
         self,
@@ -156,6 +203,23 @@ class Network:
         else:
             delay = self._policy.delay(sender, recipient, payload, send_time)
         self.messages_sent += 1
+        return self._schedule_copy(
+            sender, recipient, payload, delay, send_time, order_key
+        )
+
+    def _schedule_copy(
+        self,
+        sender: PartyId,
+        recipient: PartyId,
+        payload: Any,
+        delay: float,
+        send_time: float,
+        order_key: bytes | None,
+    ) -> bytes | None:
+        """Schedule one already-priced copy; the single home of the
+        per-copy delivery rules (INF drop, negative-delay check, pre-start
+        buffering, time quantization, deferred order-key digest) shared by
+        the unicast/override path and the batched multicast fan-out."""
         if delay == INF:
             return order_key
         if delay < 0:
@@ -183,15 +247,18 @@ class Network:
             if self._accountant is not None
             else None
         )
-        if self._record:
-            self.envelopes.append(
+        if self._envelopes is not None:
+            self._envelopes.append(
                 Envelope(sender, recipient, payload, self._sim.now, deliver_time)
             )
+        # A static label: formatting "deliver s->r" per message was a
+        # measurable slice of the delivery hot path at n >= 100, and the
+        # endpoints stay recoverable from the scheduled closure.
         self._sim.schedule_at(
             deliver_time,
             lambda: self._deliver(sender, recipient, payload, msg_id),
             order_key=order_key,
-            label=f"deliver {sender}->{recipient}",
+            label="deliver",
         )
 
     def _deliver(

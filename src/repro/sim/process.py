@@ -45,7 +45,17 @@ class Party(Agent):
         self.clock = LocalClock(world.start_offsets[party_id])
         self.signer = world.registry.signer_for(party_id)
         self.registry = world.registry
-        self.transcript = Transcript(party_id)
+        # The world's instrumentation decides whether this party keeps a
+        # transcript; ``None`` strips recording from the delivery hot path.
+        # All in-tree worlds — including the proxy worlds for adversary
+        # brains and SMR slots — expose the bundle; the getattr fallback
+        # keeps out-of-tree world stand-ins on the always-on transcript.
+        instrumentation = getattr(world, "instrumentation", None)
+        self.transcript: Transcript | None = (
+            instrumentation.transcript_for(party_id)
+            if instrumentation is not None
+            else Transcript(party_id)
+        )
         self.committed_value: Value | None = None
         self.has_committed = False
         self.commit_global_time: float | None = None
@@ -59,11 +69,13 @@ class Party(Agent):
     # ------------------------------------------------------------------ #
 
     def start(self) -> None:
-        self.transcript.record_start(0.0)
+        if self.transcript is not None:
+            self.transcript.record_start(0.0)
         self.on_start()
 
     def deliver(self, sender: PartyId, payload: Any) -> None:
-        self.transcript.record_recv(self.local_time(), sender, payload)
+        if self.transcript is not None:
+            self.transcript.record_recv(self.local_time(), sender, payload)
         if self.terminated:
             return
         self.on_message(sender, payload)
@@ -161,7 +173,8 @@ class Party(Agent):
             if step is None:
                 step = accountant.last_step_index()
             self.commit_step = step
-        self.transcript.record_commit(self.local_time(), value)
+        if self.transcript is not None:
+            self.transcript.record_commit(self.local_time(), value)
         self.world.note_commit(self.id)
 
     def terminate(self) -> None:

@@ -2,9 +2,17 @@
 
 A :class:`World` bundles one simulated execution: the simulator kernel, the
 PKI, the network (with its adversarial delay policy), the honest parties
-(instances of a protocol's :class:`~repro.sim.process.Party` subclass) and
-the Byzantine agents (adversary behaviors).  :func:`run_broadcast` is the
-one-call harness used by tests, examples and benchmarks.
+(instances of a protocol's :class:`~repro.sim.process.Party` subclass), the
+Byzantine agents (adversary behaviors) and one
+:class:`~repro.sim.instrumentation.Instrumentation` bundle that owns every
+observability side effect (transcripts, round accounting, envelope capture,
+commit tracking).  :func:`run_broadcast` is the one-call harness used by
+tests, examples and benchmarks.
+
+Instrumentation is a *mode*, never a semantics change: the ``"perf"``
+preset sheds the observers entirely (for n >= 100 sweeps) but yields the
+same commits, commit times and message counts as ``"full"`` for the same
+seed.
 """
 from __future__ import annotations
 
@@ -14,9 +22,9 @@ from typing import Any, Callable
 from repro.crypto.signatures import KeyRegistry
 from repro.errors import ConfigurationError
 from repro.sim.delays import DelayPolicy, FixedDelay
+from repro.sim.instrumentation import Instrumentation, resolve_instrumentation
 from repro.sim.network import Network
 from repro.sim.process import Agent, Party
-from repro.sim.rounds import RoundAccountant
 from repro.sim.scheduler import Simulator
 from repro.types import PartyId, Value
 
@@ -38,6 +46,7 @@ class World:
         byzantine: frozenset[PartyId] = frozenset(),
         start_offsets: list[float] | None = None,
         record_envelopes: bool = False,
+        instrumentation: str | Instrumentation | None = None,
     ):
         if len(byzantine) > f:
             raise ConfigurationError(
@@ -51,21 +60,29 @@ class World:
         self.start_offsets = start_offsets or [0.0] * n
         if len(self.start_offsets) != n:
             raise ConfigurationError("start_offsets length must equal n")
+        self.instrumentation = resolve_instrumentation(
+            instrumentation, record_envelopes=record_envelopes
+        )
+        self.instrumentation.mark_attached()
+        self.accountant = self.instrumentation.accountant
         self.sim = Simulator()
         self.registry = KeyRegistry(n)
-        self.accountant = RoundAccountant()
         self.network = Network(
             self.sim,
             delay_policy,
             n=n,
             byzantine=byzantine,
             start_offsets=self.start_offsets,
-            accountant=self.accountant,
-            record_envelopes=record_envelopes,
+            instrumentation=self.instrumentation,
         )
         self.agents: dict[PartyId, Agent] = {}
-        self.commit_order: list[PartyId] = []
         self.extras: dict[str, Any] = {}
+        self._populated = False
+
+    @property
+    def commit_order(self) -> list[PartyId]:
+        """Global order in which parties committed (commit tracking)."""
+        return self.instrumentation.commit_order
 
     @property
     def honest_ids(self) -> list[PartyId]:
@@ -87,8 +104,14 @@ class World:
 
         Byzantine ids with no ``behavior_factory`` become *crash-from-start*
         parties (never attached: all their messages vanish), the weakest
-        adversary.
+        adversary.  A world can only be populated once: a second call would
+        silently re-schedule every party's start event.
         """
+        if self._populated:
+            raise ConfigurationError(
+                "world already populated; build a new World per execution"
+            )
+        self._populated = True
         for pid in range(self.n):
             if pid in self.byzantine:
                 if behavior_factory is None:
@@ -105,14 +128,18 @@ class World:
             )
 
     def _run_start_step(self, agent: Agent, pid: PartyId) -> None:
-        self.accountant.begin_start_step(pid)
+        accountant = self.accountant
+        if accountant is None:
+            agent.start()
+            return
+        accountant.begin_start_step(pid)
         try:
             agent.start()
         finally:
-            self.accountant.end_step()
+            accountant.end_step()
 
     def note_commit(self, party: PartyId) -> None:
-        self.commit_order.append(party)
+        self.instrumentation.note_commit(party)
 
     def run(
         self, *, until: float | None = None, max_events: int | None = None
@@ -123,11 +150,12 @@ class World:
     def result(self) -> "RunResult":
         honest = self.honest_parties()
         commit_rounds = {}
-        for party in honest:
-            if party.has_committed and party.commit_step is not None:
-                commit_rounds[party.id] = self.accountant.round_of_step(
-                    party.commit_step
-                )
+        if self.accountant is not None:
+            for party in honest:
+                if party.has_committed and party.commit_step is not None:
+                    commit_rounds[party.id] = self.accountant.round_of_step(
+                        party.commit_step
+                    )
         return RunResult(
             n=self.n,
             f=self.f,
@@ -143,6 +171,8 @@ class World:
             messages_sent=self.network.messages_sent,
             final_time=self.sim.now,
             events_processed=self.sim.events_processed,
+            instrumentation=self.instrumentation.name,
+            rounds_recorded=self.accountant is not None,
         )
 
 
@@ -160,6 +190,8 @@ class RunResult:
     messages_sent: int = 0
     final_time: float = 0.0
     events_processed: int = 0
+    instrumentation: str = "full"
+    rounds_recorded: bool = True
 
     @property
     def honest_ids(self) -> list[PartyId]:
@@ -192,6 +224,11 @@ class RunResult:
 
     def round_latency(self) -> int:
         """Good-case latency in Canetti-Rabin rounds (Definitions 7-8)."""
+        if not self.rounds_recorded:
+            raise ValueError(
+                f"round latency needs round accounting, but this run used "
+                f"{self.instrumentation!r} instrumentation"
+            )
         if not self.all_honest_committed():
             missing = [p for p in self.honest_ids if p not in self.commits]
             raise ValueError(f"honest parties never committed: {missing}")
@@ -209,6 +246,7 @@ def run_broadcast(
     start_offsets: list[float] | None = None,
     until: float | None = None,
     max_events: int | None = None,
+    instrumentation: str | Instrumentation | None = None,
 ) -> RunResult:
     """Build a world, run it to quiescence (or a horizon), return results."""
     world = World(
@@ -217,6 +255,7 @@ def run_broadcast(
         delay_policy=delay_policy or FixedDelay(1.0),
         byzantine=byzantine,
         start_offsets=start_offsets,
+        instrumentation=instrumentation,
     )
     world.populate(party_factory, behavior_factory)
     return world.run(until=until, max_events=max_events)

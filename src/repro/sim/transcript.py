@@ -35,6 +35,23 @@ class TranscriptEntry:
         )
 
 
+def canonical_receive_order(entries) -> list[TranscriptEntry]:
+    """Sort receive entries into the canonical simultaneous-delivery order.
+
+    Within one local instant the heap's processing order is a scheduler
+    artifact, so every transcript comparison first normalizes it: by local
+    time, then sender, then payload digest.
+    """
+    return sorted(
+        entries,
+        key=lambda e: (
+            e.local_time,
+            -1 if e.counterpart is None else e.counterpart,
+            e.payload_digest or b"",
+        ),
+    )
+
+
 @dataclass
 class Transcript:
     """The recorded local history of one party."""
@@ -65,18 +82,10 @@ class Transcript:
         of the event heap, not of the execution the adversary built (the
         model lets the adversary order simultaneous deliveries freely).
         """
-        entries = [
+        return canonical_receive_order(
             entry
             for entry in self.entries
             if entry.kind == "recv" and entry.local_time < local_cutoff
-        ]
-        return sorted(
-            entries,
-            key=lambda e: (
-                e.local_time,
-                -1 if e.counterpart is None else e.counterpart,
-                e.payload_digest or b"",
-            ),
         )
 
 
@@ -119,9 +128,19 @@ def indistinguishable(
 def first_divergence(
     a: Transcript, b: Transcript
 ) -> tuple[TranscriptEntry | None, TranscriptEntry | None] | None:
-    """First differing receive entries (for debugging witnesses)."""
-    recv_a = [e for e in a.entries if e.kind == "recv"]
-    recv_b = [e for e in b.entries if e.kind == "recv"]
+    """First differing receive entries (for debugging witnesses).
+
+    Both histories are put into the canonical simultaneous-delivery order
+    first (the same normalization :meth:`Transcript.receives_before`
+    applies), so two transcripts that ``indistinguishable`` accepts —
+    same instant, different heap order — never report a bogus divergence.
+    """
+    recv_a = canonical_receive_order(
+        e for e in a.entries if e.kind == "recv"
+    )
+    recv_b = canonical_receive_order(
+        e for e in b.entries if e.kind == "recv"
+    )
     for entry_a, entry_b in zip(recv_a, recv_b):
         if entry_a != entry_b:
             return entry_a, entry_b

@@ -74,6 +74,9 @@ class _SlotWorld:
         self.start_offsets = outer.start_offsets
         self.registry = _SlotRegistry(outer.registry, replica.signer)
         self.network = _SlotNetwork(replica, slot)
+        # Share the outer world's observability mode: under "perf" the
+        # slot protocol instances must not pay for transcripts either.
+        self.instrumentation = outer.instrumentation
         self._replica = replica
         self._slot = slot
 

@@ -72,3 +72,18 @@ class TestFirstDivergence:
         b = make_transcript(0, [(1.0, 1, "a")])
         div = first_divergence(a, b)
         assert div == (a.receives_before(10.0)[1], None)
+
+    def test_heap_order_within_one_instant_is_not_a_divergence(self):
+        # Two transcripts that indistinguishable() accepts (same instant,
+        # different heap processing order) must not report a divergence.
+        a = make_transcript(0, [(1.0, 1, "x"), (1.0, 2, "y")])
+        b = make_transcript(0, [(1.0, 2, "y"), (1.0, 1, "x")])
+        assert indistinguishable(a, b, local_cutoff=10.0)
+        assert first_divergence(a, b) is None
+
+    def test_real_divergence_still_reported_amid_reordering(self):
+        a = make_transcript(0, [(1.0, 2, "y"), (1.0, 1, "x")])
+        b = make_transcript(0, [(1.0, 1, "x"), (1.0, 2, "z")])
+        div = first_divergence(a, b)
+        assert div is not None
+        assert div[0].counterpart == 2 and div[1].counterpart == 2
