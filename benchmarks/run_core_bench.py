@@ -1,240 +1,19 @@
 """Tracked end-to-end perf runs: writes ``BENCH_core.json``.
 
-Runs the good-case latency measurement for 2-round-BRB and psync-VBB
-across system sizes (up to n=101) and instrumentation presets, recording
-wall time, events/sec, message counts and digest-cache statistics.  Rows
-come in ``full`` and ``perf`` instrumentation variants at the larger
-sizes; ``speedup_perf_vs_full`` quantifies what the observability side
-effects (transcripts + round accounting + per-recipient delay sampling)
-cost at each size.
-
-The previous file's ``baseline`` section is preserved across runs (the
-committed baseline is the pre-cache seed), so the perf trajectory is
-visible PR over PR::
+Thin script wrapper around :mod:`repro.analysis.corebench` (the CLI's
+``python -m repro bench`` drives the same engine), kept at this path so
+CI and muscle memory keep working::
 
     PYTHONPATH=src python benchmarks/run_core_bench.py [output.json]
     PYTHONPATH=src python benchmarks/run_core_bench.py --smoke  # <60s CI run
-
-The grid executes through :class:`repro.analysis.engine.SweepEngine`;
-``--workers K`` fans rows out over K processes (each row still times its
-runs in-process, so parallel rows only contend for cores — keep the
-default of 1 for tracked numbers).
 
 See benchmarks/README.md for how to read the output.
 """
 from __future__ import annotations
 
-import argparse
-import json
-import statistics
-import subprocess
 import sys
-import time
-from pathlib import Path
 
-from repro.analysis.engine import SweepEngine, SweepTask
-from repro.analysis.latency import measure_round_good_case
-from repro.crypto.messages import clear_digest_cache, digest_stats
-from repro.protocols.brb_2round import Brb2Round
-from repro.protocols.psync.vbb_5f1 import PsyncVbb5f1
-
-REPO_ROOT = Path(__file__).resolve().parent.parent
-DEFAULT_OUTPUT = REPO_ROOT / "BENCH_core.json"
-REPS = 9  # median over 9: the 1-CPU CI boxes jitter full-mode walls ~10%
-
-#: (label, protocol class, measure kwargs, instrumentation modes).  f is
-#: the largest fault budget each protocol's resilience bound admits at
-#: that n.  ``perf`` variants exist where the observability overhead is
-#: worth tracking (n >= 31) and at the n=101 scale target.
-CONFIGS = [
-    ("brb_2round", Brb2Round, dict(n=4, f=1), ["full"]),
-    ("brb_2round", Brb2Round, dict(n=16, f=5), ["full"]),
-    ("brb_2round", Brb2Round, dict(n=31, f=10), ["full", "perf"]),
-    ("brb_2round", Brb2Round, dict(n=101, f=33), ["full", "perf"]),
-    ("psync_vbb_5f1", PsyncVbb5f1, dict(n=4, f=1, big_delta=1.0), ["full"]),
-    ("psync_vbb_5f1", PsyncVbb5f1, dict(n=16, f=3, big_delta=1.0), ["full"]),
-    (
-        "psync_vbb_5f1",
-        PsyncVbb5f1,
-        dict(n=31, f=6, big_delta=1.0),
-        ["full", "perf"],
-    ),
-]
-
-#: Reduced grid for CI: exercises both instrumentation modes, <60s total.
-SMOKE_CONFIGS = [
-    ("brb_2round", Brb2Round, dict(n=16, f=5), ["full", "perf"]),
-    ("psync_vbb_5f1", PsyncVbb5f1, dict(n=16, f=3, big_delta=1.0), ["full"]),
-]
-
-
-def _git_rev() -> str:
-    try:
-        return subprocess.run(
-            ["git", "rev-parse", "--short", "HEAD"],
-            cwd=REPO_ROOT, capture_output=True, text=True, check=True,
-        ).stdout.strip()
-    except Exception:
-        return "unknown"
-
-
-def measure_one(
-    *,
-    label: str,
-    cls,
-    kwargs: dict,
-    instrumentation: str = "full",
-    reps: int = REPS,
-) -> dict:
-    measure = lambda: measure_round_good_case(  # noqa: E731
-        cls, instrumentation=instrumentation, **kwargs
-    )
-    measure()  # warm-up (and JIT-less caches)
-    walls = []
-    for _ in range(reps):
-        start = time.perf_counter()
-        meas = measure()
-        walls.append(time.perf_counter() - start)
-    wall = statistics.median(walls)
-
-    # One instrumented run from a cold digest cache for the cache stats.
-    clear_digest_cache()
-    digest_stats.reset()
-    meas = measure()
-    stats = digest_stats.snapshot()
-    events = meas.result.events_processed
-
-    return {
-        "protocol": label,
-        **{k: v for k, v in kwargs.items()},
-        "instrumentation": instrumentation,
-        "wall_seconds": round(wall, 6),
-        "events_processed": events,
-        "events_per_second": round(events / wall, 1),
-        "messages": meas.messages,
-        "round_latency": meas.round_latency,
-        "digests_computed": stats["digests_computed"],
-        "digest_cache_hits": stats["cache_hits"],
-    }
-
-
-def _print_row(row: dict) -> None:
-    print(
-        f"{row['protocol']:>14} n={row['n']:<3} f={row['f']:<3}"
-        f" {row['instrumentation']:>6}"
-        f" wall={row['wall_seconds']*1000:8.2f}ms"
-        f" events/s={row['events_per_second']:>10.0f}"
-        f" digests={row['digests_computed']}"
-        f" hits={row['digest_cache_hits']}"
-    )
-
-
-def run_grid(configs, *, reps: int, workers: int) -> list[dict]:
-    tasks = [
-        SweepTask(
-            measure_one,
-            dict(
-                label=label,
-                cls=cls,
-                kwargs=kwargs,
-                instrumentation=mode,
-                reps=reps,
-            ),
-            key=(label, kwargs["n"], kwargs["f"], mode),
-        )
-        for label, cls, kwargs, modes in configs
-        for mode in modes
-    ]
-    rows = SweepEngine(workers=workers).run(tasks)
-    for row in rows:
-        _print_row(row)
-    return rows
-
-
-def _annotate_mode_speedups(rows: list[dict]) -> None:
-    """perf-vs-full ratios: computed purely within the current rows."""
-    full_by_key = {
-        (r["protocol"], r["n"], r["f"]): r
-        for r in rows
-        if r["instrumentation"] == "full"
-    }
-    for row in rows:
-        if row["instrumentation"] != "perf":
-            continue
-        full = full_by_key.get((row["protocol"], row["n"], row["f"]))
-        if full and row["wall_seconds"] > 0:
-            row["speedup_perf_vs_full"] = round(
-                full["wall_seconds"] / row["wall_seconds"], 2
-            )
-
-
-def _annotate_baseline_speedups(
-    rows: list[dict], baseline_rows: list[dict]
-) -> None:
-    base_by_key = {
-        (r["protocol"], r["n"], r["f"], r.get("instrumentation", "full")): r
-        for r in baseline_rows
-    }
-    for row in rows:
-        key = (row["protocol"], row["n"], row["f"], row["instrumentation"])
-        base = base_by_key.get(key)
-        if base and row["wall_seconds"] > 0:
-            row["speedup_vs_baseline"] = round(
-                base["wall_seconds"] / row["wall_seconds"], 2
-            )
-
-
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "output", nargs="?", type=Path, default=DEFAULT_OUTPUT,
-        help="output JSON path (default: BENCH_core.json at the repo root)",
-    )
-    parser.add_argument(
-        "--smoke", action="store_true",
-        help="reduced <60s grid (CI regression gate); fewer reps, small n",
-    )
-    parser.add_argument(
-        "--workers", type=int, default=1,
-        help="worker processes for the row grid (default 1: serial timing)",
-    )
-    args = parser.parse_args(argv)
-    output = args.output
-
-    configs = SMOKE_CONFIGS if args.smoke else CONFIGS
-    reps = 2 if args.smoke else REPS
-    rows = run_grid(configs, reps=reps, workers=args.workers)
-
-    current = {
-        "rev": _git_rev(),
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
-        "results": rows,
-    }
-    doc = {"schema": "bench-core/v1"}
-    if output.exists():
-        try:
-            doc = json.loads(output.read_text())
-        except json.JSONDecodeError:
-            pass
-    doc.setdefault("schema", "bench-core/v1")
-    _annotate_mode_speedups(rows)
-    if args.smoke:
-        # Smoke runs gate CI; they never overwrite the tracked numbers —
-        # and a reduced 2-rep grid must never seed the sticky baseline.
-        if "baseline" in doc:
-            _annotate_baseline_speedups(rows, doc["baseline"]["results"])
-        doc["smoke"] = current
-    else:
-        # The baseline sticks once written (the committed one is the
-        # pre-cache seed); only "current" tracks the working tree.
-        doc.setdefault("baseline", current)
-        _annotate_baseline_speedups(rows, doc["baseline"]["results"])
-        doc["current"] = current
-
-    output.write_text(json.dumps(doc, indent=1) + "\n")
-    print(f"\nwrote {output}")
-    return 0
-
+from repro.analysis.corebench import main
 
 if __name__ == "__main__":
     sys.exit(main())

@@ -131,6 +131,9 @@ class _SharedSignerRegistry:
     def verify_all(self, items) -> bool:
         return self._real.verify_all(items)
 
+    def verify_batch(self, items) -> bool:
+        return self._real.verify_batch(items)
+
 
 class _InterceptingNetwork:
     """Network proxy that routes an inner party's sends through a filter."""
@@ -179,6 +182,18 @@ class _InnerWorld:
         # Share the outer world's observability mode: under "perf" the
         # inner brain must not pay for transcripts either.
         self.instrumentation = outer.instrumentation
+        # Share the outer payload interner so the brain's vote/echo cores
+        # coincide with the honest parties' (identity-cache hits), and the
+        # outer memo registry so e.g. the brain's certificate checker
+        # pools verdicts with the honest parties' (the memo keys carry
+        # the registry and full checker configuration, so pooling across
+        # differently-configured users is structurally safe).
+        intern = getattr(outer, "intern_payload", None)
+        if intern is not None:
+            self.intern_payload = intern
+        shared = getattr(outer, "shared_memo", None)
+        if shared is not None:
+            self.shared_memo = shared
 
     def note_commit(self, party: PartyId) -> None:
         """Inner commits are the adversary's business, not the harness's."""

@@ -7,9 +7,11 @@ from repro.analysis.latency import (
 )
 from repro.analysis.sweeps import (
     SweepPoint,
+    latency_percentiles,
     sweep_async_rounds,
     sweep_dishonest_majority,
     sweep_fig9_tradeoff,
+    sweep_latency_distribution,
     sweep_random_delays,
     sweep_sync_regimes,
 )
@@ -23,12 +25,14 @@ __all__ = [
     "Table1Row",
     "format_table",
     "generate_table1",
+    "latency_percentiles",
     "measure_round_good_case",
     "measure_sync_good_case",
     "point_seed",
     "sweep_async_rounds",
     "sweep_dishonest_majority",
     "sweep_fig9_tradeoff",
+    "sweep_latency_distribution",
     "sweep_random_delays",
     "sweep_sync_regimes",
 ]

@@ -12,6 +12,7 @@ shed transcript/accounting overhead on large grids.
 """
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.analysis.engine import SweepEngine, SweepTask
@@ -310,6 +311,8 @@ def sweep_random_delays(
     so the whole distribution reproduces bit-for-bit at any worker count.
     The worst-case sweeps above are the paper's bounds; this one samples
     the gap between them and typical executions.
+    :func:`sweep_latency_distribution` aggregates these points into the
+    percentile rows tracked in ``BENCH_core.json``.
     """
     engine = _default_engine(engine)
     tasks = [
@@ -322,3 +325,72 @@ def sweep_random_delays(
         for index in range(samples)
     ]
     return engine.run(tasks)
+
+
+def latency_percentiles(
+    latencies: list[float], percentiles: tuple[int, ...] = (50, 90, 99)
+) -> dict[str, float]:
+    """Nearest-rank percentiles of a latency sample (deterministic).
+
+    Nearest-rank (no interpolation) keeps the values *actual observed
+    latencies*, so a reported p99 is always an execution that happened.
+    """
+    if not latencies:
+        raise ValueError("percentiles need at least one sample")
+    ordered = sorted(latencies)
+    last = len(ordered) - 1
+    return {
+        f"p{p}": ordered[min(last, max(0, math.ceil(p / 100 * len(ordered)) - 1))]
+        for p in percentiles
+    }
+
+
+def sweep_latency_distribution(
+    *,
+    grid: list[tuple[int, int]],
+    samples: int,
+    delta: float = 1.0,
+    engine: SweepEngine | None = None,
+    instrumentation: str = "perf",
+    percentiles: tuple[int, ...] = (50, 90, 99),
+) -> list[dict]:
+    """Good-case latency *distribution* per ``(n, f)`` grid point.
+
+    The paper's theorems bound the worst case; this benchmark measures
+    where typical executions land: for each grid point it runs ``samples``
+    seeded random-delay executions (through :func:`sweep_random_delays`,
+    so any engine worker count reproduces the same numbers) and reports
+    nearest-rank percentiles of the good-case latency alongside
+    mean/min/max.  A run in which an honest party never commits raises
+    (``latency_from`` refuses to report a latency for it), so every row
+    aggregates fully-committed executions only.  One row per grid
+    point::
+
+        {"n": 101, "f": 33, "samples": 50, "delta": 1.0,
+         "p50": ..., "p90": ..., "p99": ..., "mean": ..., ...}
+    """
+    engine = _default_engine(engine)
+    rows = []
+    for n, f in grid:
+        points = sweep_random_delays(
+            n=n,
+            f=f,
+            samples=samples,
+            delta=delta,
+            engine=engine,
+            instrumentation=instrumentation,
+        )
+        latencies = [point["latency"] for point in points]
+        rows.append(
+            {
+                "n": n,
+                "f": f,
+                "samples": samples,
+                "delta": delta,
+                **latency_percentiles(latencies, percentiles),
+                "mean": sum(latencies) / len(latencies),
+                "min": min(latencies),
+                "max": max(latencies),
+            }
+        )
+    return rows

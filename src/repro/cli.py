@@ -7,12 +7,16 @@ Commands:
 * ``witness <theorem>`` — run a lower-bound witness (thm04, thm07, thm08,
   thm09, thm10, thm19, or ``all``);
 * ``smr`` — run the replicated key-value store demo;
-* ``ablation`` — run the equivocation-clause ablation.
+* ``ablation`` — run the equivocation-clause ablation;
+* ``bench`` — run the core perf grid (wall times, digest/intern counters,
+  latency percentiles); ``--output`` also writes/merges a
+  ``BENCH_core.json``-style document.
 """
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -97,6 +101,18 @@ def _cmd_smr(args: argparse.Namespace) -> int:
     return 0 if len(snapshots) == 1 else 1
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.analysis.corebench import run_core_bench
+
+    run_core_bench(
+        output=args.output,
+        smoke=args.smoke,
+        workers=args.workers,
+        reps=args.reps,
+    )
+    return 0
+
+
 def _cmd_ablation(args: argparse.Namespace) -> int:
     from repro.analysis.ablation import run_equivocation_clause_ablation
 
@@ -157,6 +173,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--delay", type=float, default=0.1)
     p.add_argument("--big-delta", dest="big_delta", type=float, default=1.0)
     p.set_defaults(fn=_cmd_smr)
+
+    p = sub.add_parser(
+        "bench",
+        help="core perf grid: walls, digest/intern counters, percentiles",
+    )
+    p.add_argument(
+        "--smoke", action="store_true",
+        help="reduced <60s grid (what the CI regression gate runs)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the row grid (1 = serial timing)",
+    )
+    p.add_argument(
+        "--reps", type=int, default=None,
+        help="timing reps per row (default: 9, 5 past n=200 and in smoke)",
+    )
+    p.add_argument(
+        "--output", type=Path, default=None,
+        help="write/merge a BENCH_core.json-style document here "
+        "(default: print only)",
+    )
+    p.set_defaults(fn=_cmd_bench)
 
     p = sub.add_parser("ablation", help="equivocation-clause ablation")
     p.set_defaults(fn=_cmd_ablation)

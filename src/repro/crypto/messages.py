@@ -19,16 +19,36 @@ simulator and shape its design:
   the :class:`DigestOf` marker and are derived on the same work stack, so
   deep countersign chains cost zero extra Python frames too.
 
-* **Digests are content-addressed and memoized by identity.**  The
-  simulator passes payload *objects* by reference (multicast hands the same
-  tuple to every recipient; certificate entries are re-verified by every
-  party), so one payload object is digested many times.  ``digest`` keeps
-  an identity-keyed cache ``id(obj) -> (obj, digest)``; the strong
-  reference to the key object pins its ``id``, so an entry can never alias
-  a recycled address.  Only *deeply immutable* values are cached (tuples /
-  frozensets / ``_canonical_fields`` objects whose leaves are immutable);
-  a value containing a ``list`` or ``dict`` anywhere is re-encoded every
-  time, so mutation never yields a stale digest.
+* **Digests are content-addressed and cached in two tiers.**
+
+  Tier 1 — the *identity memo*.  The simulator passes payload *objects* by
+  reference (multicast hands the same tuple to every recipient;
+  certificate entries are re-verified by every party), so one payload
+  object is digested many times.  ``digest`` keeps an identity-keyed cache
+  ``id(obj) -> (obj, digest)``; the strong reference to the key object
+  pins its ``id``, so an entry can never alias a recycled address.  Only
+  *deeply immutable* values are cached (tuples / frozensets /
+  ``_canonical_fields`` objects whose leaves are immutable); a value
+  containing a ``list`` or ``dict`` anywhere is re-encoded every time, so
+  mutation never yields a stale digest.
+
+  Tier 2 — the *content intern table*.  On the signing path every party
+  builds its *own* vote/echo payload object, so n distinct-but-equal
+  payloads defeat the identity memo and each one would re-pay a full
+  encode.  For deeply immutable values built from the scalar leaf types,
+  tuples and frozen ``_canonical_fields`` holders, :func:`digest_ex`
+  derives a content key — a flat *shape* (type tags, arities, holder
+  classes: everything structural) plus the varying *leaf values* — and
+  interns ``(shape, leaves) -> digest``: party i's vote object and party
+  j's equal reconstruction share one digest computation.  Per shape, a
+  compiled *plan* (the structural prefix pre-encoded, leaf encoders ready
+  to splice) makes the first, interning encode cheap too.  The tier
+  applies strictly *below* the identity memo: an identity hit never builds
+  a key, and a value that fails the shape walk (mutable holder anywhere,
+  exotic type) falls through to the generic encoder exactly as before.
+  Interning is gated by the same stability rule as tier 1 — the shape walk
+  only succeeds on deeply immutable values, so mutable payloads never
+  intern and mutation is always observed.
 
 Stability is tracked *through* nested digests: a ``_canonical_fields``
 holder that calls back into :func:`digest` (e.g. ``SignedPayload``'s
@@ -94,6 +114,41 @@ class IdentityMemo:
         return len(self._entries)
 
 
+class ContentMemo:
+    """A bounded content-keyed memo with wholesale-clear eviction.
+
+    The content-addressed sibling of :class:`IdentityMemo`: keys are
+    hashable value tuples (shape keys, digests), so equal keys built by
+    different parties hit without sharing objects.  Same eviction rule —
+    the memo wholesale-clears at ``max_entries``, which costs
+    recomputation, never correctness — so callers must only :meth:`put`
+    values that can be replayed for the same key forever.
+    """
+
+    __slots__ = ("_entries", "max_entries")
+
+    def __init__(self, max_entries: int):
+        self._entries: dict[Any, Any] = {}
+        self.max_entries = max_entries
+
+    def get(self, key: Any) -> Any | None:
+        return self._entries.get(key)
+
+    def put(self, key: Any, value: Any) -> bool:
+        """Store ``value``; returns True when a wholesale clear happened."""
+        evicted = len(self._entries) >= self.max_entries
+        if evicted:
+            self._entries.clear()
+        self._entries[key] = value
+        return evicted
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
 # --------------------------------------------------------------------- #
 # digest cache
 # --------------------------------------------------------------------- #
@@ -104,12 +159,19 @@ _MAX_CACHE_ENTRIES = 1 << 18
 
 _CACHE = IdentityMemo(_MAX_CACHE_ENTRIES)
 
+#: Content intern table (tier 2): ``(shape, leaves) -> digest``.  Keys pin
+#: only leaf scalars and type/class objects, never payload object graphs.
+_MAX_INTERN_ENTRIES = 1 << 17
+
+_INTERN = ContentMemo(_MAX_INTERN_ENTRIES)
+
 
 class DigestStats:
     """Running counters for the digest subsystem (cheap, always on)."""
 
     __slots__ = ("encode_calls", "digests_computed", "cache_hits",
-                 "cache_evictions")
+                 "cache_evictions", "interned_hits", "intern_evictions",
+                 "plans_compiled")
 
     def __init__(self) -> None:
         self.reset()
@@ -119,6 +181,9 @@ class DigestStats:
         self.digests_computed = 0
         self.cache_hits = 0
         self.cache_evictions = 0
+        self.interned_hits = 0
+        self.intern_evictions = 0
+        self.plans_compiled = 0
 
     def snapshot(self) -> dict[str, int]:
         return {
@@ -126,6 +191,9 @@ class DigestStats:
             "digests_computed": self.digests_computed,
             "cache_hits": self.cache_hits,
             "cache_evictions": self.cache_evictions,
+            "interned_hits": self.interned_hits,
+            "intern_evictions": self.intern_evictions,
+            "plans_compiled": self.plans_compiled,
         }
 
     def __repr__(self) -> str:
@@ -137,13 +205,21 @@ digest_stats = DigestStats()
 
 
 def clear_digest_cache() -> None:
-    """Drop every memoized digest (tests / between benchmark runs)."""
+    """Drop every memoized digest and plan (tests / between bench runs)."""
     _CACHE.clear()
+    _INTERN.clear()
+    _PLANS.clear()
+    _FRAGMENTS.clear()
 
 
 def digest_cache_len() -> int:
     """Number of live entries in the identity-keyed digest cache."""
     return len(_CACHE)
+
+
+def intern_table_len() -> int:
+    """Number of live entries in the content-keyed intern table."""
+    return len(_INTERN)
 
 
 # --------------------------------------------------------------------- #
@@ -375,6 +451,261 @@ def canonical_encode(obj: Any) -> bytes:
 
 
 # --------------------------------------------------------------------- #
+# content keys and shape plans (intern tier)
+# --------------------------------------------------------------------- #
+
+# A content key is ``(shape, leaves)``: ``shape`` is a flat tuple of
+# structural atoms — scalar type objects, "(" + arity for tuples, "o" +
+# class for frozen ``_canonical_fields`` holders, "N"/"_" for None/BOTTOM,
+# "D" for a sub-value standing in as its identity-cached digest — and
+# ``leaves`` carries the varying values in walk order.  The grammar is a
+# prefix code (every composite atom states its arity), so equal shapes
+# mean equal structure; floats contribute their ``repr`` as the leaf so
+# 0.0 and -0.0 (equal, same hash, different encodings) never collide, and
+# bool/int leaves are split by the type atom for the same reason.
+
+#: Containers deeper than this (or wider than the leaf cap) skip the
+#: intern tier; the paper's payloads are a handful of levels deep, and a
+#: quorum payload carries ~3 leaves per entry — the leaf cap clears an
+#: n=301 vote quorum (201 entries) with room to spare while still
+#: bounding the memory a single intern key can pin.
+_MAX_KEY_DEPTH = 16
+_MAX_KEY_LEAVES = 4096
+
+#: Per-object shape fragments for frozen holders: ``obj -> (atoms,
+#: leaves)``.  A quorum walk visits the same vote objects as every other
+#: party's quorum walk, so after the first visit a holder contributes its
+#: fragment in O(1) instead of re-deriving ``_canonical_fields``.  Keyed
+#: by identity under the same invariant as the digest cache: fragments
+#: are only stored for walks that proved deep immutability.
+_FRAGMENTS = IdentityMemo(1 << 16)
+
+
+def _key_walk(
+    o: Any, atoms: list, leaves: list, depth: int, structural: bool = False
+) -> bool:
+    """Append ``o``'s shape atoms / leaves; False when not internable.
+
+    Succeeds only on deeply immutable values (scalar leaves, tuples,
+    frozen holders, already-proven-stable digests), so a successful walk
+    doubles as the stability verdict the memo tiers gate on.
+
+    ``structural=True`` is the stricter mode for *object* interners: it
+    refuses the two key-level digest stand-ins ("D" atoms and
+    :class:`DigestOf` leaves), so a key never equates a raw digest value
+    with a structurally different object.  Note the remaining, deliberate
+    reliance: a *stamped* ``SignedPayload`` contributes its Merkle fields
+    (payload digest + signature) in both modes, so equal keys equate
+    signed envelopes whose payloads agree by digest — exactly the
+    injectivity the ideal-hash model (and ``Signature`` equality itself)
+    already assumes.
+    """
+    t = type(o)
+    if t is str or t is int or t is bytes:
+        atoms.append(t)
+        leaves.append(o)
+        return True
+    if t is bool:
+        atoms.append(bool)
+        leaves.append(o)
+        return True
+    if t is float:
+        atoms.append(float)
+        leaves.append(repr(o))
+        return True
+    if o is None:
+        atoms.append("N")
+        return True
+    if o is BOTTOM:
+        atoms.append("_")
+        return True
+    # Composite values: one already proven stable (its digest sits in the
+    # identity memo) is keyed by that digest — ideal-hash injectivity
+    # makes the digest as good as the content, and the walk stays O(1).
+    if not structural:
+        hit = _CACHE.get(o)
+        if hit is not None:
+            atoms.append("D")
+            leaves.append(hit)
+            return True
+    if depth <= 0 or len(leaves) > _MAX_KEY_LEAVES:
+        return False
+    if t is tuple:
+        atoms.append("(")
+        atoms.append(len(o))
+        for item in o:
+            # Cap check per element: a single wide flat tuple must not
+            # bypass the bound a nested one would hit on entry.
+            if len(leaves) > _MAX_KEY_LEAVES:
+                return False
+            if not _key_walk(item, atoms, leaves, depth - 1, structural):
+                return False
+        return True
+    if t is DigestOf:
+        if structural:
+            return False
+        inner = o.value
+        hit = _CACHE.get(inner)
+        if hit is None:
+            return False
+        # DigestOf encodes exactly like the digest bytes, so it keys —
+        # and plan-encodes — as a bytes leaf.
+        atoms.append(bytes)
+        leaves.append(hit)
+        return True
+    if getattr(o, "_canonical_fields", None) is not None and (
+        _is_frozen_holder(t)
+    ):
+        if not structural:
+            fragment = _FRAGMENTS.get(o)
+            if fragment is not None:
+                atoms.extend(fragment[0])
+                leaves.extend(fragment[1])
+                return True
+        mark_atoms, mark_leaves = len(atoms), len(leaves)
+        atoms.append("o")
+        atoms.append(t)
+        if not _key_walk(
+            o._canonical_fields(), atoms, leaves, depth - 1, structural
+        ):
+            return False
+        if not structural:
+            _FRAGMENTS.put(
+                o, (tuple(atoms[mark_atoms:]), tuple(leaves[mark_leaves:]))
+            )
+        return True
+    return False
+
+
+def intern_key(obj: Any, *, structural: bool = False) -> tuple | None:
+    """Content key for ``obj``, or None when it must not be interned.
+
+    A non-None key certifies deep immutability; equal keys guarantee
+    byte-identical canonical encodings.  With ``structural=True`` a key
+    additionally never stands a raw digest in for a composite value
+    ("D"/``DigestOf`` atoms are refused), which is what an *object*
+    interner substituting one value for another needs — see
+    :func:`_key_walk` for the one digest reliance that remains (stamped
+    ``SignedPayload`` Merkle fields, sound under the ideal-hash model).
+    Exposed for content-keyed caches above this module (payload-object
+    interners, certificate memos).
+    """
+    atoms: list = []
+    leaves: list = []
+    if _key_walk(obj, atoms, leaves, _MAX_KEY_DEPTH, structural):
+        return (tuple(atoms), tuple(leaves))
+    return None
+
+
+# Shape plans: per-shape compiled encoders.  A plan takes the key's leaf
+# tuple and produces the canonical encoding without the generic work
+# stack — constant structural parts (type tags, holder-name prefixes) are
+# baked in at compile time.  Shapes containing "D" atoms have no plan
+# (the digest stands in for the sub-value in the *key*, but the *encoding*
+# still needs the full subtree), so those fall back to the generic
+# encoder on an intern miss.
+_MAX_PLAN_ENTRIES = 1 << 12
+
+_PLANS: dict[tuple, Any] = {}
+
+
+def _enc_str(it) -> bytes:
+    data = next(it).encode()
+    return b"s%d:" % len(data) + data
+
+
+def _enc_int(it) -> bytes:
+    data = b"%d" % next(it)
+    return b"i%d:" % len(data) + data
+
+
+def _enc_bytes(it) -> bytes:
+    data = next(it)
+    return b"y%d:" % len(data) + data
+
+
+def _enc_bool(it) -> bytes:
+    return b"b1" if next(it) else b"b0"
+
+
+def _enc_float(it) -> bytes:
+    data = next(it).encode()  # the leaf is the float's repr string
+    return b"f%d:" % len(data) + data
+
+
+def _enc_none(it) -> bytes:
+    return b"N"
+
+
+def _enc_bottom(it) -> bytes:
+    return b"_"
+
+
+_LEAF_ENCODERS = {
+    str: _enc_str,
+    int: _enc_int,
+    bytes: _enc_bytes,
+    bool: _enc_bool,
+    float: _enc_float,
+    "N": _enc_none,
+    "_": _enc_bottom,
+}
+
+
+def _compile_node(atoms: tuple, i: int):
+    """Compile the shape node at ``atoms[i]``; returns ``(fn, next_i)``."""
+    atom = atoms[i]
+    encoder = _LEAF_ENCODERS.get(atom)
+    if encoder is not None:
+        return encoder, i + 1
+    if atom == "(":
+        count = atoms[i + 1]
+        i += 2
+        children = []
+        for _ in range(count):
+            fn, i = _compile_node(atoms, i)
+            children.append(fn)
+        children = tuple(children)
+
+        def seq(it, _children=children):
+            body = b"".join(fn(it) for fn in _children)
+            return b"t%d:" % len(body) + body
+
+        return seq, i
+    # atom == "o": holder class + one child (the fields tuple)
+    name = atoms[i + 1].__name__.encode()
+    prefix = b"o%d:" % len(name) + name
+    fn, i = _compile_node(atoms, i + 2)
+
+    def obj(it, _prefix=prefix, _fn=fn):
+        return _prefix + _fn(it)
+
+    return obj, i
+
+
+def _plan_for(shape: tuple):
+    """The compiled plan for ``shape`` (None when it cannot be planned)."""
+    try:
+        return _PLANS[shape]
+    except KeyError:
+        pass
+    if len(_PLANS) >= _MAX_PLAN_ENTRIES:
+        _PLANS.clear()
+    if "D" in shape:
+        plan = None
+    else:
+        fn, end = _compile_node(shape, 0)
+        assert end == len(shape), "shape atoms must parse exactly"
+
+        def plan(leaves, _fn=fn):
+            return _fn(iter(leaves))
+
+        digest_stats.plans_compiled += 1
+    _PLANS[shape] = plan
+    return plan
+
+
+# --------------------------------------------------------------------- #
 # digests
 # --------------------------------------------------------------------- #
 
@@ -412,11 +743,40 @@ def digest_ex(obj: Any) -> tuple[bytes, bool]:
     digests), i.e. the returned digest can never go stale.  Signing and
     verification use the flag to decide whether a digest may be stamped
     or a verdict memoized.
+
+    Lookup order: identity memo (same object), then the content intern
+    table (equal content rebuilt by another party), then a shape-plan or
+    generic encode.  Both cache tiers only ever hold stable values.
     """
     hit = _CACHE.get(obj)
     if hit is not None:
         digest_stats.cache_hits += 1
         return hit, True
+    atoms: list = []
+    leaves: list = []
+    if _key_walk(obj, atoms, leaves, _MAX_KEY_DEPTH):
+        key = (tuple(atoms), tuple(leaves))
+        value = _INTERN.get(key)
+        if value is not None:
+            digest_stats.interned_hits += 1
+            if _cacheable(obj):
+                if _CACHE.put(obj, value):
+                    digest_stats.cache_evictions += 1
+            return value, True
+        digest_stats.encode_calls += 1
+        plan = _plan_for(key[0])
+        if plan is not None:
+            encoding = plan(key[1])
+        else:  # "D" atoms: the key is cheap but the encoding is not
+            encoding = _encode_ex(obj)[0]
+        digest_stats.digests_computed += 1
+        value = _sha256(encoding).digest()
+        if _INTERN.put(key, value):
+            digest_stats.intern_evictions += 1
+        if _cacheable(obj):
+            if _CACHE.put(obj, value):
+                digest_stats.cache_evictions += 1
+        return value, True
     digest_stats.encode_calls += 1
     encoding, stable = _encode_ex(obj)
     digest_stats.digests_computed += 1

@@ -21,7 +21,12 @@ payload subtree — so countersigning / digesting nested signed values
 reuses child digests instead of re-encoding whole subtrees.  The registry
 additionally keeps a *verified set*: once a ``SignedPayload`` object has
 verified, re-checking the same object (quorum certificates are re-checked
-by every party they reach) is an O(1) identity lookup.
+by every party they reach) is an O(1) identity lookup.  Both ``sign`` and
+``verify`` obtain digests through :func:`repro.crypto.messages.digest_ex`
+and therefore ride the content intern table: n parties signing equal vote
+payloads pay for one encoding, and :meth:`KeyRegistry.verify_batch` checks
+a certificate's signatures with one digest per distinct payload plus k
+membership tests.
 """
 from __future__ import annotations
 
@@ -234,6 +239,47 @@ class KeyRegistry:
             )
         return signed
 
+    def verify_batch(self, items: Iterable[SignedPayload]) -> bool:
+        """Verify a quorum's worth of signed payloads in one pass.
+
+        Groups the batch by payload object, computes each distinct
+        payload's digest exactly once (a content-intern hit when an equal
+        payload was digested anywhere before), then runs one membership
+        test per signature.  Failure semantics match the scalar path
+        exactly: items are checked in order and the first bad signature
+        fails the batch — items after it are neither verified nor
+        memoized, just like a short-circuiting ``all(verify(...))``.
+        """
+        verified = self._verified
+        issued = self._issued
+        digests: dict[int, tuple[Any, bytes, bool]] = {}
+        for item in items:
+            if verified.get(item) is not None:
+                continue
+            sig = item.signature
+            payload = item.payload
+            group = digests.get(id(payload))
+            if group is not None and group[0] is payload:
+                actual, stable = group[1], group[2]
+            else:
+                actual, stable = digest_ex(payload)
+                # The strong payload reference pins the id for the scope
+                # of this batch, so the group entry cannot alias.
+                digests[id(payload)] = (payload, actual, stable)
+            if sig.payload_digest != actual:
+                return False
+            if (sig.signer, actual) not in issued:
+                return False
+            if stable:
+                verified.put(item, True)
+        return True
+
     def verify_all(self, items: Iterable[SignedPayload]) -> bool:
-        """Verify every signed payload in ``items``."""
-        return all(self.verify(item) for item in items)
+        """Verify every signed payload in ``items``.
+
+        Delegates to :meth:`verify_batch` so a certificate's signatures
+        share digest work instead of short-circuiting per item before the
+        membership grouping; the verdict (including which item fails
+        first) is identical to ``all(self.verify(item) ...)``.
+        """
+        return self.verify_batch(items)

@@ -42,8 +42,11 @@ class Brb2Round(BroadcastParty):
         return (PROPOSE, value)
 
     @staticmethod
-    def make_vote(signer, value: Value) -> tuple:
-        return (VOTE, signer.sign((VOTE, value)))
+    def make_vote(signer, value: Value, body: tuple | None = None) -> tuple:
+        """Signed vote for ``value``; ``body`` lets honest parties pass a
+        world-shared ``(VOTE, value)`` core so all n votes sign one
+        object (one digest instead of n equal encodings)."""
+        return (VOTE, signer.sign(body if body is not None else (VOTE, value)))
 
     # ------------------------------------------------------------------ #
     # protocol steps
@@ -69,7 +72,8 @@ class Brb2Round(BroadcastParty):
         if self._voted:
             return
         self._voted = True
-        self.multicast(self.make_vote(self.signer, value))
+        body = self.shared_payload((VOTE, value))
+        self.multicast(self.make_vote(self.signer, value, body=body))
 
     def _on_vote(self, signed_vote: SignedPayload) -> None:
         if not self.verify(signed_vote):

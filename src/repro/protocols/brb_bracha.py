@@ -63,7 +63,9 @@ class BrachaBrb(BroadcastParty):
         if self._echoed:
             return
         self._echoed = True
-        self.multicast((ECHO, value))
+        # Shared core: all n echo tuples for v are one world-interned
+        # object, so the network's order-key digest is an identity hit.
+        self.multicast(self.shared_payload((ECHO, value)))
 
     def _on_echo(self, sender: PartyId, value: Value) -> None:
         self._echoes.setdefault(value, set()).add(sender)
@@ -85,4 +87,4 @@ class BrachaBrb(BroadcastParty):
         if self._readied:
             return
         self._readied = True
-        self.multicast((READY, value))
+        self.multicast(self.shared_payload((READY, value)))

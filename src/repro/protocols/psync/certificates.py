@@ -27,7 +27,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.crypto.messages import IdentityMemo, digest_ex
+from repro.crypto.messages import (
+    ContentMemo,
+    IdentityMemo,
+    digest_ex,
+    intern_key,
+)
 from repro.crypto.signatures import KeyRegistry, SignedPayload
 from repro.types import BOTTOM, PartyId, Value
 
@@ -59,9 +64,14 @@ def make_value_entry(
     return party_signer.sign(leader_pair)
 
 
-def make_bottom_entry(party_signer, view: int) -> SignedPayload:
-    """Party-signed bottom pair ``<BOTTOM, w>_j``."""
-    return party_signer.sign((VAL, BOTTOM, view))
+def make_bottom_entry(party_signer, view: int, pair=None) -> SignedPayload:
+    """Party-signed bottom pair ``<BOTTOM, w>_j``.
+
+    ``pair`` lets callers pass a shared ``(VAL, BOTTOM, view)`` core (see
+    :meth:`repro.sim.process.Party.shared_payload`) so the n per-party
+    bottom entries of one view sign the same object.
+    """
+    return party_signer.sign(pair if pair is not None else (VAL, BOTTOM, view))
 
 
 @dataclass(frozen=True, slots=True)
@@ -132,6 +142,7 @@ class CertificateChecker:
         registry: KeyRegistry,
         leader_of: Callable[[int], PartyId],
         external_validity: ExternalValidity = always_valid,
+        valid_memo: ContentMemo | None = None,
     ):
         self.n = n
         self.f = f
@@ -153,6 +164,21 @@ class CertificateChecker:
         # could in principle verify later.
         self._valid_cache: IdentityMemo = IdentityMemo(
             _MAX_VALID_CACHE_ENTRIES
+        )
+        # Content-keyed sibling of the identity memo: an equal
+        # certificate *rebuilt* by another party hits without sharing
+        # the object.  The key (built in :meth:`evaluate`) is the
+        # certificate's order-sensitive intern key prefixed with the
+        # full verdict configuration — registry, (n, f), validity
+        # predicate, view leader — so a memo shared across checkers (the
+        # world passes one so all parties' checkers pool verdicts) can
+        # never replay a verdict under a mismatched configuration, and
+        # must still only span checkers of the same world (the registry
+        # prefix enforces that structurally).
+        self._content_memo: ContentMemo = (
+            valid_memo
+            if valid_memo is not None
+            else ContentMemo(_MAX_VALID_CACHE_ENTRIES)
         )
 
     # ------------------------------------------------------------------ #
@@ -201,24 +227,83 @@ class CertificateChecker:
     def evaluate(self, cert: Certificate) -> CertStatus:
         """Apply the Figure 2 Certificate Check to ``cert``.
 
-        Valid results are memoized by certificate object identity, so the
-        per-view re-checks in the psync protocols cost one dict lookup
-        after the first full evaluation.
+        Valid results are memoized twice over: by certificate object
+        identity (the per-view re-checks in the psync protocols cost one
+        dict lookup after the first full evaluation) and by content —
+        the certificate's intern key under the checker's configuration —
+        so an *equal* certificate rebuilt by a different party hits
+        without identity.
         """
         hit = self._valid_cache.get(cert)
         if hit is not None:
             return hit
+        # The content key is the certificate's intern key (equal keys
+        # guarantee byte-identical canonical encodings, so they cover the
+        # view, every entry and every signer; the walk costs no encode or
+        # hash and bails at the first mutable value — an unstable
+        # certificate pays a cheap partial walk here, never a digest)
+        # prefixed with everything the verdict depends on besides the
+        # certificate itself: the PKI, the threshold configuration, the
+        # validity predicate and this view's leader.  A shared memo is
+        # therefore safe even across checkers configured differently —
+        # mismatched configurations simply never collide.  The probe must
+        # precede evaluation: that is what lets a party skip
+        # re-evaluating a certificate an equal copy of which any other
+        # party already proved valid.
+        ckey = None
+        if not cert.is_genesis:
+            cert_key = intern_key(cert)
+            if cert_key is not None:
+                ckey = (
+                    self.registry,
+                    self.n,
+                    self.f,
+                    self.external_validity,
+                    self.leader_of(cert.view),
+                    cert_key,
+                )
+        if ckey is not None:
+            hit = self._content_memo.get(ckey)
+            if hit is not None:
+                # A content key only exists for stable certificates, so
+                # promoting the verdict to the identity memo is sound.
+                self._valid_cache.put(cert, hit)
+                return hit
         status = self._evaluate_uncached(cert)
-        # Gate on stability like the other memos: an entry value is only
-        # Hashable, so it could be a mutable holder whose later mutation
-        # must re-run the check rather than replay a stale verdict.
-        if status.valid and digest_ex(cert)[1]:
-            self._valid_cache.put(cert, status)
+        if status.valid:
+            if ckey is not None:
+                self._valid_cache.put(cert, status)
+                self._content_memo.put(ckey, status)
+            elif digest_ex(cert)[1]:
+                # Stable but not content-keyable (exotic values, depth or
+                # width caps) — gate on stability like the other memos and
+                # keep at least the identity-level replay.  An unstable
+                # cert lands here too and is (correctly) never cached: a
+                # mutable holder's later mutation must re-run the check
+                # rather than replay a stale verdict.
+                self._valid_cache.put(cert, status)
         return status
 
     def _evaluate_uncached(self, cert: Certificate) -> CertStatus:
         if cert.is_genesis:
             return CertStatus(valid=True, locked_value=None, locks_any=True)
+        # Batch-verify every entry (and countersigned inner pair) up
+        # front: one digest per distinct payload instead of interleaving
+        # scalar verifies with parsing.  Any bad signature invalidates the
+        # certificate exactly as the per-entry path would; the per-entry
+        # verifies inside parse_entry then hit the verified set.
+        entries = cert.entries
+        if entries and all(
+            isinstance(entry, SignedPayload) for entry in entries
+        ):
+            batch = list(entries)
+            batch.extend(
+                entry.payload
+                for entry in entries
+                if isinstance(entry.payload, SignedPayload)
+            )
+            if not self.registry.verify_batch(batch):
+                return CertStatus(valid=False, locked_value=None)
         parsed: dict[PartyId, ParsedEntry] = {}
         for entry in cert.entries:
             item = self.parse_entry(entry, cert.view)

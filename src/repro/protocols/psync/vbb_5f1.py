@@ -85,12 +85,21 @@ class PsyncVbb5f1(BroadcastParty):
         self.fallback_value = fallback_value
         self.max_view = max_view
         self.quorum = self.n - self.f
+        # All parties of one world share the content-keyed valid-verdict
+        # memo (same registry, same leader schedule, same validity
+        # predicate), so a certificate re-built by another party hits.
+        shared_memo = getattr(world, "shared_memo", None)
         self.checker = CertificateChecker(
             n=self.n,
             f=self.f,
             registry=self.registry,
             leader_of=self.leader_of,
             external_validity=external_validity,
+            valid_memo=(
+                shared_memo("vbb-valid-certs")
+                if shared_memo is not None
+                else None
+            ),
         )
         self.current_view = 1
         self.highest_cert = Certificate.genesis()
@@ -309,7 +318,11 @@ class PsyncVbb5f1(BroadcastParty):
         if view in self._voted_pair:
             entry = self._voted_pair[view]
         else:
-            entry = make_bottom_entry(self.signer, view)
+            entry = make_bottom_entry(
+                self.signer,
+                view,
+                pair=self.shared_payload((VAL, BOTTOM, view)),
+            )
         self.multicast((TIMEOUT, view, entry))
 
     # ------------------------------------------------------------------ #
@@ -380,7 +393,9 @@ class PsyncVbb5f1(BroadcastParty):
     def _enter_view(self, view: int) -> None:
         self.current_view = view
         self._arm_view_timer(view)
-        status_msg = self.signer.sign((STATUS, view - 1, self.highest_cert))
+        status_msg = self.signer.sign(
+            self.shared_payload((STATUS, view - 1, self.highest_cert))
+        )
         self.send(self.leader_of(view), status_msg)
         pending = self._pending_proposals.pop(view, None)
         if pending is not None:

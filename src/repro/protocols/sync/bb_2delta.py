@@ -70,7 +70,7 @@ class Bb2Delta(SyncBroadcastParty):
         if self._voted:
             return
         self._voted = True
-        self.multicast(self.signer.sign((VOTE, value)))
+        self.multicast(self.signer.sign(self.shared_payload((VOTE, value))))
 
     def _on_vote(self, vote: SignedPayload) -> None:
         if not self.verify(vote):

@@ -129,7 +129,9 @@ class BbDelta15Delta(SyncBroadcastParty):
     def _send_vote(self, d: float, proposal: SignedPayload) -> None:
         if self.equivocation_detected_at is not None or self.has_committed:
             return
-        self.multicast(self.signer.sign((VOTE, d, proposal)))
+        self.multicast(
+            self.signer.sign(self.shared_payload((VOTE, d, proposal)))
+        )
 
     # ------------------------------------------------------------------ #
     # step 4: commit and lock

@@ -85,7 +85,9 @@ class BbDelta2Delta(SyncBroadcastParty):
     def _send_vote(self, proposal: SignedPayload) -> None:
         if self.equivocation_detected_at is not None:
             return
-        self.multicast(self.signer.sign((VOTE, proposal)))
+        self.multicast(
+            self.signer.sign(self.shared_payload((VOTE, proposal)))
+        )
 
     def _on_vote(self, vote: SignedPayload) -> None:
         if not self.verify(vote):

@@ -88,7 +88,9 @@ class BbDeltaDeltaN3(SyncBroadcastParty):
         if self._voted:
             return
         self._voted = True
-        self.multicast(self.signer.sign((VOTE, proposal)))
+        self.multicast(
+            self.signer.sign(self.shared_payload((VOTE, proposal)))
+        )
         self.after_local_delay(self.big_delta, self._vote_timer_fired)
 
     def _vote_timer_fired(self) -> None:
@@ -141,7 +143,9 @@ class BbDeltaDeltaN3(SyncBroadcastParty):
             ):
                 self.lock = value
                 self.commit(value)
-                self.multicast(self.signer.sign((COMMIT_MSG, value)))
+                self.multicast(
+                    self.signer.sign(self.shared_payload((COMMIT_MSG, value)))
+                )
             return  # no equivocation => only one value can have votes here
 
     def _on_commit_msg(self, msg: SignedPayload) -> None:

@@ -79,7 +79,9 @@ class BbDeltaDeltaSync(SyncBroadcastParty):
         d = self.local_time()
         if d > self.big_delta:
             return  # too late to vote
-        self.multicast(self.signer.sign((VOTE, d, proposal)))
+        self.multicast(
+            self.signer.sign(self.shared_payload((VOTE, d, proposal)))
+        )
 
     # ------------------------------------------------------------------ #
     # step 3

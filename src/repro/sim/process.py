@@ -104,6 +104,17 @@ class Party(Agent):
     def sign(self, payload: Any):
         return self.signer.sign(payload)
 
+    def shared_payload(self, payload: Any) -> Any:
+        """World-interned instance of an immutable message payload.
+
+        Protocol steps where every party builds the same small tuple (a
+        vote body, an echo) route it through here so all n parties hold
+        *one* object and the identity-keyed caches do the rest.  Worlds
+        without an interner (out-of-tree stand-ins) just echo the value.
+        """
+        intern = getattr(self.world, "intern_payload", None)
+        return payload if intern is None else intern(payload)
+
     def verify(self, signed) -> bool:
         return self.registry.verify(signed)
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.crypto.messages import ContentMemo, intern_key
 from repro.crypto.signatures import KeyRegistry
 from repro.errors import ConfigurationError
 from repro.sim.delays import DelayPolicy, FixedDelay
@@ -78,6 +79,47 @@ class World:
         self.agents: dict[PartyId, Agent] = {}
         self.extras: dict[str, Any] = {}
         self._populated = False
+        self._payload_interner = ContentMemo(1 << 14)
+        self._shared_memos: dict[str, ContentMemo] = {}
+
+    def intern_payload(self, payload: Any) -> Any:
+        """Canonical instance for an immutable payload, world-scoped.
+
+        Parties building equal message tuples (every voter's
+        ``(VOTE, v)``, every echoer's ``(ECHO, v)``) get one shared
+        object back, so the identity-keyed digest and verified caches hit
+        where n distinct-but-equal objects would each pay a content
+        lookup.  Values the content keyer rejects (anything mutable or
+        exotic) are returned unchanged.  The key is *structural*
+        (``intern_key(structural=True)``): it never equates a raw digest
+        with a structurally different object, so — up to the ideal-hash
+        injectivity the signature model already assumes for stamped
+        ``SignedPayload`` fields — the returned object is interchangeable
+        with the argument: sharing cannot change semantics, only object
+        identity.
+        """
+        key = intern_key(payload, structural=True)
+        if key is None:
+            return payload
+        hit = self._payload_interner.get(key)
+        if hit is not None:
+            return hit
+        self._payload_interner.put(key, payload)
+        return payload
+
+    def shared_memo(self, name: str, max_entries: int = 1 << 16) -> ContentMemo:
+        """A named world-scoped :class:`ContentMemo`, created on demand.
+
+        For content-keyed caches whose verdicts depend on world state
+        (the PKI's issued set, the leader schedule) and therefore must
+        never outlive or span worlds — e.g. the certificate checker's
+        valid-verdict memo shared by all parties of one world.
+        """
+        memo = self._shared_memos.get(name)
+        if memo is None:
+            memo = ContentMemo(max_entries)
+            self._shared_memos[name] = memo
+        return memo
 
     @property
     def commit_order(self) -> list[PartyId]:

@@ -78,6 +78,19 @@ class Simulator:
         self._running = True
         processed = 0
         try:
+            if until is None and max_events is None:
+                # Run-to-quiescence fast path: no horizon to respect, so
+                # pop directly instead of peeking then popping (one heap
+                # probe per event instead of two).
+                pop = self._queue.pop
+                while True:
+                    event = pop()
+                    if event is None:
+                        break
+                    self._now = event.time
+                    event.action()
+                    self._events_processed += 1
+                return self._now
             while True:
                 next_time = self._queue.peek_time()
                 if next_time is None:

@@ -45,6 +45,9 @@ class _SlotRegistry:
     def verify_all(self, items) -> bool:
         return self._real.verify_all(items)
 
+    def verify_batch(self, items) -> bool:
+        return self._real.verify_batch(items)
+
 
 class _SlotNetwork:
     """Network proxy wrapping slot messages with the slot tag."""
@@ -77,6 +80,17 @@ class _SlotWorld:
         # Share the outer world's observability mode: under "perf" the
         # slot protocol instances must not pay for transcripts either.
         self.instrumentation = outer.instrumentation
+        # Share the outer payload interner (equal per-slot vote cores
+        # across replicas collapse to one object) and the outer memo
+        # registry (slot checkers pool certificate verdicts; the memo
+        # keys carry the registry and full checker configuration, so
+        # pooling across slots is structurally safe).
+        intern = getattr(outer, "intern_payload", None)
+        if intern is not None:
+            self.intern_payload = intern
+        shared = getattr(outer, "shared_memo", None)
+        if shared is not None:
+            self.shared_memo = shared
         self._replica = replica
         self._slot = slot
 

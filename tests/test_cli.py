@@ -20,6 +20,13 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["witness", "thm99"])
 
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["bench", "--smoke"])
+        assert args.smoke is True
+        assert args.workers == 1
+        assert args.reps is None
+        assert args.output is None
+
 
 class TestCommands:
     def test_table1_exit_code_zero(self, capsys):
@@ -48,3 +55,10 @@ class TestCommands:
         assert main(["ablation"]) == 0
         out = capsys.readouterr().out
         assert "load-bearing: True" in out
+
+    def test_bench_smoke_reports_intern_counters(self, capsys):
+        assert main(["bench", "--smoke", "--reps", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "interned=" in out
+        assert "plans=" in out
+        assert "p99=" in out  # latency-distribution row
