@@ -65,6 +65,92 @@ class CrashBehavior(ByzantineBehavior):
     """The weakest adversary: the party never sends anything."""
 
 
+class EquivocatingVoterBehavior(ByzantineBehavior):
+    """A voter that signs *two different values* per voting round.
+
+    On the broadcaster's proposal it multicasts a vote for the proposed
+    value **and** a vote for ``second_value`` — the textbook equivocation
+    the quorum trackers' detection path
+    (:attr:`repro.protocols.quorum.QuorumTracker.equivocators`) exists to
+    expose.  Honest 2-round-BRB parties tally both votes (per-value
+    buckets are independent), flag the signer, and still commit: with at
+    most ``f`` equivocators the real value gathers its ``n - f`` quorum
+    while the decoy tops out at ``f < n - f`` supporters.
+
+    ``make_votes(signer, value)`` builds the two vote messages; the
+    default speaks the 2-round-BRB wire format.  Supply a different
+    builder to aim the same behavior at another vote-collecting protocol.
+    """
+
+    def __init__(
+        self,
+        world,
+        party_id: PartyId,
+        *,
+        broadcaster: PartyId,
+        second_value: Any = "equivocation",
+        make_votes: "Callable[[Any, Any], list[Any]] | None" = None,
+    ):
+        super().__init__(world, party_id)
+        self.broadcaster = broadcaster
+        self.second_value = second_value
+        self._make_votes = make_votes
+        self._voted = False
+
+    def _default_votes(self, value: Any) -> list[Any]:
+        from repro.protocols.brb_2round import Brb2Round
+
+        return [
+            Brb2Round.make_vote(self.signer, value),
+            Brb2Round.make_vote(self.signer, self.second_value),
+        ]
+
+    def deliver(self, sender: PartyId, payload: Any) -> None:
+        from repro.protocols.brb_2round import PROPOSE
+
+        if self._voted or sender != self.broadcaster:
+            return
+        if not (
+            isinstance(payload, tuple)
+            and len(payload) == 2
+            and payload[0] == PROPOSE
+        ):
+            return
+        self._voted = True
+        votes = (
+            self._make_votes(self.signer, payload[1])
+            if self._make_votes is not None
+            else self._default_votes(payload[1])
+        )
+        for vote in votes:
+            self.multicast_raw(vote)
+
+
+def equivocate_votes(
+    *,
+    broadcaster: PartyId,
+    second_value: Any = "equivocation",
+    make_votes: "Callable[[Any, Any], list[Any]] | None" = None,
+):
+    """Behavior factory: every corrupted party double-votes per round.
+
+    Matches :data:`repro.sim.runner.BehaviorFactory`; pass as
+    ``behavior_factory`` to :func:`repro.sim.runner.run_broadcast` with
+    the corrupted ids in ``byzantine``.
+    """
+
+    def build(world, pid: PartyId) -> EquivocatingVoterBehavior:
+        return EquivocatingVoterBehavior(
+            world,
+            pid,
+            broadcaster=broadcaster,
+            second_value=second_value,
+            make_votes=make_votes,
+        )
+
+    return build
+
+
 @dataclass
 class ScriptStep:
     """One pre-planned send: at global ``time``, ``payload`` to ``recipient``."""

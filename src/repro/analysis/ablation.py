@@ -53,10 +53,9 @@ class AblatedPsyncVbb(PsyncVbb5f1):
 
     def _new_view_trigger(self, view: int):
         """Any quorum of timeouts advances (no "wait for one more")."""
-        bucket = self._timeout_entries.get(view, {})
-        if len(bucket) < self.quorum:
+        if self._timeout_entries.count(view) < self.quorum:
             return None
-        return list(bucket.values())[: self.quorum]
+        return self._timeout_entries.entries(view)[: self.quorum]
 
 
 def run_equivocation_clause_ablation() -> dict[str, dict[PartyId, object]]:

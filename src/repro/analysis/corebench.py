@@ -1,15 +1,18 @@
 """Tracked end-to-end perf runs: the engine behind ``BENCH_core.json``.
 
 Runs the good-case latency measurement for 2-round-BRB and psync-VBB
-across system sizes (up to n=301) and instrumentation presets, recording
-wall time, events/sec, message counts and digest-subsystem statistics
-(including the content-intern tier's hit and plan counters), plus a
-seeded random-delay *latency distribution* (p50/p90/p99 per grid point).
-Rows come in ``full`` and ``perf`` instrumentation variants at the larger
-sizes; ``speedup_perf_vs_full`` quantifies what the observability side
-effects cost at each size, and the n in {201, 301} rows run perf-only
-(full-mode transcripts at that scale measure the observer, not the
-simulator).
+across system sizes (up to n=501) and instrumentation presets, recording
+wall time, events/sec, message counts, digest-subsystem statistics
+(including the content-intern tier's hit and plan counters) and the
+quorum/arena counters (``quorum_checks`` tally updates across every
+party's :class:`~repro.protocols.quorum.QuorumTracker`;
+``events_recycled`` delivery-event cells reused by the perf-mode event
+arena), plus a seeded random-delay *latency distribution* (p50/p90/p99
+per grid point).  Rows come in ``full`` and ``perf`` instrumentation
+variants at the larger sizes; ``speedup_perf_vs_full`` quantifies what
+the observability side effects cost at each size, and the n >= 201 rows
+run perf-only (full-mode transcripts at that scale measure the observer,
+not the simulator).
 
 The previous file's ``baseline`` section is preserved across runs (the
 committed baseline is the pre-cache seed), so the perf trajectory is
@@ -61,6 +64,7 @@ CONFIGS = [
     ("brb_2round", Brb2Round, dict(n=101, f=33), ["full", "perf"]),
     ("brb_2round", Brb2Round, dict(n=201, f=66), ["perf"]),
     ("brb_2round", Brb2Round, dict(n=301, f=100), ["perf"]),
+    ("brb_2round", Brb2Round, dict(n=501, f=166), ["perf"]),
     ("psync_vbb_5f1", PsyncVbb5f1, dict(n=4, f=1, big_delta=1.0), ["full"]),
     ("psync_vbb_5f1", PsyncVbb5f1, dict(n=16, f=3, big_delta=1.0), ["full"]),
     (
@@ -134,6 +138,8 @@ def measure_one(
         "digest_cache_hits": stats["cache_hits"],
         "interned_hits": stats["interned_hits"],
         "plans_compiled": stats["plans_compiled"],
+        "quorum_checks": meas.result.quorum_checks,
+        "events_recycled": meas.result.events_recycled,
     }
 
 
@@ -147,6 +153,8 @@ def _print_row(row: dict) -> None:
         f" hits={row['digest_cache_hits']}"
         f" interned={row['interned_hits']}"
         f" plans={row['plans_compiled']}"
+        f" quorum={row['quorum_checks']}"
+        f" recycled={row['events_recycled']}"
     )
 
 

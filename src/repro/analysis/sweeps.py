@@ -327,6 +327,86 @@ def sweep_random_delays(
     return engine.run(tasks)
 
 
+def _equivocating_voters_point(
+    *,
+    n: int,
+    f: int,
+    equivocators: int,
+    delta: float,
+    seed: int,
+    instrumentation: str = "perf",
+) -> dict:
+    from repro.adversary.behaviors import equivocate_votes
+    from repro.protocols.brb_2round import Brb2Round
+    from repro.sim.delays import UniformDelay
+    from repro.sim.runner import run_broadcast
+
+    # Corrupt the highest ids so the broadcaster (0) stays honest.
+    byzantine = frozenset(range(n - equivocators, n))
+    result = run_broadcast(
+        n=n,
+        f=f,
+        party_factory=Brb2Round.factory(broadcaster=0, input_value="v"),
+        byzantine=byzantine,
+        behavior_factory=equivocate_votes(broadcaster=0),
+        delay_policy=UniformDelay(0.0, delta, seed=seed),
+        instrumentation=instrumentation,
+    )
+    return {
+        "n": n,
+        "f": f,
+        "equivocators": equivocators,
+        "seed": seed,
+        "all_committed": result.all_honest_committed(),
+        "agreement": result.agreement_holds(),
+        "latency": result.latency_from(0.0),
+        "messages": result.messages_sent,
+        "equivocations_detected": result.equivocations_detected,
+        "quorum_checks": result.quorum_checks,
+    }
+
+
+def sweep_equivocating_voters(
+    *,
+    n: int,
+    f: int,
+    equivocator_counts: list[int],
+    delta: float = 1.0,
+    engine: SweepEngine | None = None,
+    instrumentation: str = "perf",
+) -> list[dict]:
+    """BRB under the ``equivocate_votes`` adversary, per corruption level.
+
+    Each grid point corrupts the top ``k`` ids (``k <= f``) with
+    :class:`~repro.adversary.behaviors.EquivocatingVoterBehavior` —
+    every corrupted party signs votes for *two* values — and reports
+    whether all honest parties still committed in agreement, plus the
+    tracker-level evidence: ``equivocations_detected`` counts the
+    double-voters exposed by the honest parties' quorum trackers — each
+    honest tracker independently witnesses every equivocator whose
+    second vote lands before that party commits and terminates, so the
+    count grows with ``k`` up to about ``k * (n - k)``.  Seeded like
+    every other sweep: deterministic at any worker count.
+    """
+    engine = _default_engine(engine)
+    tasks = [
+        SweepTask(
+            _equivocating_voters_point,
+            dict(
+                n=n,
+                f=f,
+                equivocators=k,
+                delta=delta,
+                instrumentation=instrumentation,
+            ),
+            key=("equivocate-votes", n, f, k),
+            inject_seed=True,
+        )
+        for k in equivocator_counts
+    ]
+    return engine.run(tasks)
+
+
 def latency_percentiles(
     latencies: list[float], percentiles: tuple[int, ...] = (50, 90, 99)
 ) -> dict[str, float]:

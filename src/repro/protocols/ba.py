@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from repro.crypto.signatures import SignedPayload
+from repro.protocols.quorum import QuorumTracker
 from repro.types import BOTTOM, PartyId, Value
 
 DS_MSG = "ds-relay"
@@ -192,15 +193,20 @@ class DolevStrongBa:
             self.on_decide(self._resolve())
 
     def _resolve(self) -> Value:
-        outputs = [
-            self.instances[pid].output() for pid in range(self.host.n)
-        ]
-        counts: dict[Value, int] = {}
-        for value in outputs:
+        # Tally each instance's output with a transient quorum tracker
+        # (the instance index is the "signer"), then take the
+        # honest-majority value: with f < n/2, honest inputs outnumber
+        # every alternative.  Like every one-shot tally (cf. FaB's
+        # justification check), the tracker is unregistered: the
+        # ``quorum_checks`` counter tracks the persistent per-party
+        # engines only.
+        tally = QuorumTracker()
+        for pid in range(self.host.n):
+            value = self.instances[pid].output()
             if value is not BOTTOM:
-                counts[value] = counts.get(value, 0) + 1
+                tally.add(value, pid)
         for value, count in sorted(
-            counts.items(), key=lambda item: repr(item[0])
+            tally.value_counts().items(), key=lambda item: repr(item[0])
         ):
             if count > self.host.n / 2:
                 return value

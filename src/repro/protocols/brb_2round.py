@@ -15,13 +15,17 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.crypto.signatures import SignedPayload
 from repro.protocols.base import BroadcastParty
+from repro.protocols.quorum import commit_quorum
 from repro.types import PartyId, Value, validate_resilience
 
 PROPOSE = "propose"
 VOTE = "vote"
 VOTE_QUORUM = "vote-quorum"
+
+
+def _vote_quorum_message(quorum: tuple) -> tuple:
+    return (VOTE_QUORUM, quorum)
 
 
 class Brb2Round(BroadcastParty):
@@ -30,8 +34,13 @@ class Brb2Round(BroadcastParty):
     def __init__(self, world, party_id: PartyId, **kwargs: Any):
         super().__init__(world, party_id, **kwargs)
         validate_resilience(self.n, self.f, requirement="3f+1")
+        self.quorum = commit_quorum(self.n, self.f)
         self._voted = False
-        self._votes: dict[Value, dict[PartyId, SignedPayload]] = {}
+        # Commit quorum (n - f) accounting; equivocation detection is on
+        # so Byzantine double-voters surface in the run's counters.
+        self._votes = self.quorum_tracker(
+            "brb2-votes", detect_equivocation=True
+        )
 
     # ------------------------------------------------------------------ #
     # message construction (classmethods so adversaries can reuse them)
@@ -75,19 +84,22 @@ class Brb2Round(BroadcastParty):
         body = self.shared_payload((VOTE, value))
         self.multicast(self.make_vote(self.signer, value, body=body))
 
-    def _on_vote(self, signed_vote: SignedPayload) -> None:
+    def _on_vote(self, signed_vote) -> None:
         if not self.verify(signed_vote):
             return
         tag, value = signed_vote.payload
         if tag != VOTE:
             return
-        bucket = self._votes.setdefault(value, {})
-        bucket[signed_vote.signer] = signed_vote
+        count = self._votes.add(value, signed_vote.signer, signed_vote)
         # Step 3: Commit on a quorum of n - f votes for the same value.
-        if len(bucket) >= self.n - self.f and not self.has_committed:
-            quorum = tuple(
-                sorted(bucket.values(), key=lambda v: v.signer)
+        # The equality test fires exactly at the threshold crossing (the
+        # tally is monotonic and duplicates return 0), so the sorted
+        # quorum tuple is built at most once — a late vote after the
+        # commit can never rebuild or re-multicast it.
+        if count == self.quorum and not self.has_committed:
+            self.multicast(
+                self._votes.quorum_payload(value, _vote_quorum_message),
+                include_self=False,
             )
-            self.multicast((VOTE_QUORUM, quorum), include_self=False)
             self.commit(value)
             self.terminate()

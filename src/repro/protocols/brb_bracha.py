@@ -16,6 +16,7 @@ import math
 from typing import Any
 
 from repro.protocols.base import BroadcastParty
+from repro.protocols.quorum import honest_majority, honest_witness
 from repro.types import PartyId, Value, validate_resilience
 
 PROPOSE = "propose"
@@ -31,8 +32,10 @@ class BrachaBrb(BroadcastParty):
         validate_resilience(self.n, self.f, requirement="3f+1")
         self._echoed = False
         self._readied = False
-        self._echoes: dict[Value, set[PartyId]] = {}
-        self._readies: dict[Value, set[PartyId]] = {}
+        # Unauthenticated tallies: the channel sender is the "signer",
+        # and no payloads are retained (count-only fast path).
+        self._echoes = self.quorum_tracker()
+        self._readies = self.quorum_tracker()
 
     @property
     def echo_threshold(self) -> int:
@@ -40,11 +43,11 @@ class BrachaBrb(BroadcastParty):
 
     @property
     def ready_amplify_threshold(self) -> int:
-        return self.f + 1
+        return honest_witness(self.n, self.f)
 
     @property
     def deliver_threshold(self) -> int:
-        return 2 * self.f + 1
+        return honest_majority(self.n, self.f)
 
     def on_start(self) -> None:
         if self.is_broadcaster:
@@ -68,18 +71,16 @@ class BrachaBrb(BroadcastParty):
         self.multicast(self.shared_payload((ECHO, value)))
 
     def _on_echo(self, sender: PartyId, value: Value) -> None:
-        self._echoes.setdefault(value, set()).add(sender)
-        if len(self._echoes[value]) >= self.echo_threshold:
+        # A duplicate echo returns 0 and skips the re-check, which is
+        # safe: _send_ready is idempotent behind the _readied flag.
+        if self._echoes.add(value, sender) >= self.echo_threshold:
             self._send_ready(value)
 
     def _on_ready(self, sender: PartyId, value: Value) -> None:
-        self._readies.setdefault(value, set()).add(sender)
-        if len(self._readies[value]) >= self.ready_amplify_threshold:
+        count = self._readies.add(value, sender)
+        if count >= self.ready_amplify_threshold:
             self._send_ready(value)
-        if (
-            len(self._readies[value]) >= self.deliver_threshold
-            and not self.has_committed
-        ):
+        if count >= self.deliver_threshold and not self.has_committed:
             self.commit(value)
             self.terminate()
 

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
+from repro.protocols.quorum import QuorumTracker
 from repro.types import BOTTOM, PartyId, Value
 
 PK_MSG = "pk"
@@ -53,8 +54,9 @@ class PhaseKingBa:
         self._started = False
         self._decided = False
         self._round = 0
-        # (phase, step) -> sender -> value
-        self._inbox: dict[tuple[int, int], dict[PartyId, Value]] = {}
+        # One tracker per (phase, step) exchange; ``first_vote_only``
+        # keeps phase-king's "first message per sender wins" rule.
+        self._inbox: dict[tuple[int, int], QuorumTracker] = {}
         self._sure_count = 0
 
     # ------------------------------------------------------------------ #
@@ -83,9 +85,17 @@ class PhaseKingBa:
         _, _, phase, step, value = payload
         if not isinstance(phase, int) or not isinstance(step, int):
             return True
-        bucket = self._inbox.setdefault((phase, step), {})
-        bucket.setdefault(sender, value)
+        bucket = self._bucket(phase, step)
+        bucket.add(value, sender)
         return True
+
+    def _bucket(self, phase: int, step: int) -> QuorumTracker:
+        bucket = self._inbox.get((phase, step))
+        if bucket is None:
+            bucket = self._inbox[(phase, step)] = self.host.quorum_tracker(
+                first_vote_only=True
+            )
+        return bucket
 
     # ------------------------------------------------------------------ #
     # the three steps per phase
@@ -95,10 +105,8 @@ class PhaseKingBa:
         self.host.multicast((PK_MSG, self.tag, phase, step, value))
 
     def _majority(self, phase: int, step: int) -> tuple[Value, int]:
-        bucket = self._inbox.get((phase, step), {})
-        counts: dict[Value, int] = {}
-        for value in bucket.values():
-            counts[value] = counts.get(value, 0) + 1
+        bucket = self._inbox.get((phase, step))
+        counts = bucket.value_counts() if bucket is not None else {}
         if not counts:
             return self.default, 0
         best = max(sorted(counts, key=repr), key=lambda v: counts[v])
@@ -123,8 +131,11 @@ class PhaseKingBa:
         else:
             # End of the king round: adopt y or the king's value.
             king = phase % self.host.n
-            king_value = self._inbox.get((phase, 3), {}).get(
-                king, self.default
+            king_bucket = self._inbox.get((phase, 3))
+            king_value = (
+                king_bucket.vote_of(king, self.default)
+                if king_bucket is not None
+                else self.default
             )
             if self._d >= self.host.n - self.host.f:
                 self.value = self._y

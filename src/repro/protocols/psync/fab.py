@@ -22,6 +22,7 @@ from repro.crypto.signatures import SignedPayload
 from repro.errors import ConfigurationError
 from repro.protocols.base import BroadcastParty
 from repro.protocols.psync.certificates import ExternalValidity, always_valid
+from repro.protocols.quorum import QuorumTracker, commit_quorum, honest_majority
 from repro.types import PartyId, Value, validate_resilience
 
 PROPOSE = "fab-propose"
@@ -60,15 +61,18 @@ class FabPsync(BroadcastParty):
         self.external_validity = external_validity
         self.fallback_value = fallback_value
         self.max_view = max_view
-        self.quorum = self.n - self.f
-        self.majority = 2 * self.f + 1  # majority of any quorum of 4f+1
+        self.quorum = commit_quorum(self.n, self.f)
+        # Majority of any quorum of 4f+1.
+        self.majority = honest_majority(self.n, self.f)
         self.current_view = 1
         self.latest_vote: tuple[Value, int] | None = None
         self._voted_in: set[int] = set()
         self._timed_out: set[int] = set()
         self._advanced_past: set[int] = set()
-        self._votes: dict[tuple[int, Value], dict[PartyId, SignedPayload]] = {}
-        self._viewchanges: dict[int, dict[PartyId, SignedPayload]] = {}
+        # Quorum accounting per (view, value) for votes, per view for
+        # view changes (arrival-ordered forwards, as before).
+        self._votes = self.quorum_tracker()
+        self._viewchanges = self.quorum_tracker()
         self._pending_proposals: dict[int, SignedPayload] = {}
         self._proposed_in: set[int] = set()
 
@@ -148,7 +152,12 @@ class FabPsync(BroadcastParty):
         """
         if not isinstance(justification, tuple):
             return ...
-        reports: dict[PartyId, Value | None] = {}
+        # A transient tracker validates the set: one report per signer
+        # (first wins, like the setdefault it replaces), tallied by the
+        # reported value; ``None`` reports count toward the quorum but
+        # never toward a majority value.
+        reports = QuorumTracker(first_vote_only=True)
+        contributors = 0
         for msg in justification:
             if not isinstance(msg, SignedPayload) or not self.verify(msg):
                 continue
@@ -160,15 +169,12 @@ class FabPsync(BroadcastParty):
                 and body[1] == vc_view
             ):
                 continue
-            reports.setdefault(msg.signer, body[2])
-        if len(reports) < self.quorum:
+            if reports.add(body[2], msg.signer):
+                contributors += 1
+        if contributors < self.quorum:
             return ...
-        counts: dict[Value, int] = {}
-        for value in reports.values():
-            if value is not None:
-                counts[value] = counts.get(value, 0) + 1
-        for value, count in counts.items():
-            if count >= self.majority:
+        for value, count in reports.value_counts().items():
+            if value is not None and count >= self.majority:
                 return value
         return None
 
@@ -181,10 +187,12 @@ class FabPsync(BroadcastParty):
         _, value, view = body
         if not self.external_validity(value):
             return
-        bucket = self._votes.setdefault((view, value), {})
-        bucket[msg.signer] = msg
-        if len(bucket) >= self.quorum and not self.has_committed:
-            self.multicast((VOTES, tuple(bucket.values())), include_self=False)
+        count = self._votes.add((view, value), msg.signer, msg)
+        if count >= self.quorum and not self.has_committed:
+            self.multicast(
+                (VOTES, tuple(self._votes.entries((view, value)))),
+                include_self=False,
+            )
             self.commit(value)
             self.terminate()
 
@@ -217,16 +225,16 @@ class FabPsync(BroadcastParty):
         view = body[1]
         if not isinstance(view, int) or view < 1:
             return
-        bucket = self._viewchanges.setdefault(view, {})
-        bucket.setdefault(msg.signer, msg)
+        self._viewchanges.add(view, msg.signer, msg)
         if view in self._advanced_past or view + 1 <= self.current_view:
             return
         if view + 1 > self.max_view:
             return
-        if len(bucket) >= self.quorum:
+        if self._viewchanges.count(view) >= self.quorum:
             self._advanced_past.add(view)
             self.multicast(
-                (VIEWCHANGES, tuple(bucket.values())), include_self=False
+                (VIEWCHANGES, tuple(self._viewchanges.entries(view))),
+                include_self=False,
             )
             self._enter_view(view + 1)
 
@@ -243,7 +251,7 @@ class FabPsync(BroadcastParty):
         if view in self._proposed_in:
             return
         self._proposed_in.add(view)
-        justification = tuple(self._viewchanges.get(view - 1, {}).values())
+        justification = tuple(self._viewchanges.entries(view - 1))
         majority = self._majority_value(view - 1, justification)
         if majority is ...:
             return

@@ -18,6 +18,7 @@ from repro.crypto.signatures import SignedPayload
 from repro.errors import ConfigurationError
 from repro.protocols.base import BroadcastParty
 from repro.protocols.psync.certificates import ExternalValidity, always_valid
+from repro.protocols.quorum import commit_quorum
 from repro.types import PartyId, Value, validate_resilience
 
 PROPOSE = "pbft-propose"
@@ -65,16 +66,19 @@ class PbftPsync(BroadcastParty):
         self.external_validity = external_validity
         self.fallback_value = fallback_value
         self.max_view = max_view
-        self.quorum = self.n - self.f
+        self.quorum = commit_quorum(self.n, self.f)
         self.current_view = 1
         self.prepared: PreparedCert | None = None  # my lock
         self._voted_prepare: set[int] = set()
         self._sent_commit: set[int] = set()
         self._timed_out: set[int] = set()
         self._advanced_past: set[int] = set()
-        self._prepares: dict[tuple[int, Value], dict[PartyId, SignedPayload]] = {}
-        self._commits: dict[tuple[int, Value], dict[PartyId, SignedPayload]] = {}
-        self._viewchanges: dict[int, dict[PartyId, SignedPayload]] = {}
+        # Quorum accounting per (view, value) for prepares/commit votes
+        # and per view for view changes.  Certificates and forwards use
+        # arrival-ordered entries, matching the dict buckets they replace.
+        self._prepares = self.quorum_tracker()
+        self._commits = self.quorum_tracker()
+        self._viewchanges = self.quorum_tracker()
         self._pending_proposals: dict[int, SignedPayload] = {}
         self._proposed_in: set[int] = set()
 
@@ -215,11 +219,12 @@ class PbftPsync(BroadcastParty):
             return
         if not self.external_validity(value):
             return
-        bucket = self._prepares.setdefault((view, value), {})
-        bucket[msg.signer] = msg
-        if len(bucket) >= self.quorum and view not in self._sent_commit:
+        count = self._prepares.add((view, value), msg.signer, msg)
+        if count >= self.quorum and view not in self._sent_commit:
             self._sent_commit.add(view)
-            cert = PreparedCert(value, view, tuple(bucket.values()))
+            cert = PreparedCert(
+                value, view, tuple(self._prepares.entries((view, value)))
+            )
             if self.prepared is None or cert.view > self.prepared.view:
                 self.prepared = cert
             self.multicast(self.signer.sign((COMMIT, value, view)))
@@ -233,11 +238,11 @@ class PbftPsync(BroadcastParty):
         ):
             return
         _, value, view = body
-        bucket = self._commits.setdefault((view, value), {})
-        bucket[msg.signer] = msg
-        if len(bucket) >= self.quorum and not self.has_committed:
+        count = self._commits.add((view, value), msg.signer, msg)
+        if count >= self.quorum and not self.has_committed:
             self.multicast(
-                (COMMITS, tuple(bucket.values())), include_self=False
+                (COMMITS, tuple(self._commits.entries((view, value)))),
+                include_self=False,
             )
             self.commit(value)
             self.terminate()
@@ -264,16 +269,16 @@ class PbftPsync(BroadcastParty):
         if parsed_view is None:
             return
         view = parsed_view
-        bucket = self._viewchanges.setdefault(view, {})
-        bucket.setdefault(msg.signer, msg)
+        self._viewchanges.add(view, msg.signer, msg)
         if view in self._advanced_past or view + 1 <= self.current_view:
             return
         if view + 1 > self.max_view:
             return
-        if len(bucket) >= self.quorum:
+        if self._viewchanges.count(view) >= self.quorum:
             self._advanced_past.add(view)
             self.multicast(
-                (VIEWCHANGES, tuple(bucket.values())), include_self=False
+                (VIEWCHANGES, tuple(self._viewchanges.entries(view))),
+                include_self=False,
             )
             self._enter_view(view + 1)
 
@@ -309,7 +314,7 @@ class PbftPsync(BroadcastParty):
         if view in self._proposed_in:
             return
         self._proposed_in.add(view)
-        justification = tuple(self._viewchanges.get(view - 1, {}).values())
+        justification = tuple(self._viewchanges.entries(view - 1))
         highest = self._highest_prepared(view - 1, justification)
         if highest is ... :
             return  # cannot justify (should not happen after the quorum)

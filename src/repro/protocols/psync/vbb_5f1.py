@@ -36,6 +36,7 @@ from typing import Any
 from repro.crypto.signatures import SignedPayload
 from repro.errors import ConfigurationError
 from repro.protocols.base import BroadcastParty
+from repro.protocols.quorum import commit_quorum
 from repro.protocols.psync.certificates import (
     VAL,
     Certificate,
@@ -84,7 +85,7 @@ class PsyncVbb5f1(BroadcastParty):
         self.external_validity = external_validity
         self.fallback_value = fallback_value
         self.max_view = max_view
-        self.quorum = self.n - self.f
+        self.quorum = commit_quorum(self.n, self.f)
         # All parties of one world share the content-keyed valid-verdict
         # memo (same registry, same leader schedule, same validity
         # predicate), so a certificate re-built by another party hits.
@@ -106,9 +107,13 @@ class PsyncVbb5f1(BroadcastParty):
         self._voted_pair: dict[int, SignedPayload] = {}  # view -> my entry
         self._timed_out: set[int] = set()
         self._advanced_past: set[int] = set()  # views whose timeout quorum fired
-        self._votes: dict[tuple[int, Value], dict[PartyId, SignedPayload]] = {}
-        self._timeout_entries: dict[int, dict[PartyId, SignedPayload]] = {}
-        self._statuses: dict[int, dict[PartyId, Certificate]] = {}
+        # Quorum accounting: commit votes are tallied per (view, value)
+        # with the quorum-forward message memoized world-wide; timeout
+        # entries and status messages are tallied per view (first entry
+        # per contributor wins, as before).
+        self._votes = self.quorum_tracker("vbb-votes")
+        self._timeout_entries = self.quorum_tracker()
+        self._statuses = self.quorum_tracker()
         self._pending_proposals: dict[int, tuple[PartyId, Any]] = {}
         self._proposed_in: set[int] = set()
 
@@ -268,11 +273,16 @@ class PsyncVbb5f1(BroadcastParty):
         if parsed is None:
             return
         view, value = parsed
-        bucket = self._votes.setdefault((view, value), {})
-        bucket[entry.signer] = entry
-        if len(bucket) >= self.quorum and not self.has_committed:
-            quorum = tuple(sorted(bucket.values(), key=lambda v: v.signer))
-            self.multicast((VOTES, view, quorum), include_self=False)
+        count = self._votes.add((view, value), entry.signer, entry)
+        # The equality test fires exactly at the quorum crossing, so the
+        # sorted vote quorum is materialized (and shared world-wide) once.
+        if count == self.quorum and not self.has_committed:
+            self.multicast(
+                self._votes.quorum_payload(
+                    (view, value), lambda q: (VOTES, view, q)
+                ),
+                include_self=False,
+            )
             self.commit(value)
             self.terminate()
 
@@ -335,8 +345,7 @@ class PsyncVbb5f1(BroadcastParty):
         parsed = self.checker.parse_entry(entry, view)
         if parsed is None:
             return
-        bucket = self._timeout_entries.setdefault(view, {})
-        bucket.setdefault(parsed.contributor, entry)
+        self._timeout_entries.add(view, parsed.contributor, entry)
         if view in self._advanced_past or view + 1 <= self.current_view:
             return
         if view + 1 > self.max_view:
@@ -359,9 +368,9 @@ class PsyncVbb5f1(BroadcastParty):
 
     def _new_view_trigger(self, view: int) -> list[SignedPayload] | None:
         """Check the two Step 5 conditions; return the triggering subset."""
-        bucket = self._timeout_entries.get(view, {})
-        if len(bucket) < self.quorum:
+        if self._timeout_entries.count(view) < self.quorum:
             return None
+        bucket = dict(self._timeout_entries.entry_pairs(view))
         leader = self.leader_of(view)
         parsed = {
             pid: self.checker.parse_entry(entry, view)
@@ -415,14 +424,13 @@ class PsyncVbb5f1(BroadcastParty):
         view = prev_view + 1
         if self.leader_of(view) != self.id:
             return
-        bucket = self._statuses.setdefault(prev_view, {})
-        bucket.setdefault(signed.signer, signed)
+        self._statuses.add(prev_view, signed.signer, signed)
         self._maybe_propose(view)
 
     def _maybe_propose(self, view: int) -> None:
         if view in self._proposed_in or self.current_view != view:
             return
-        statuses = tuple(self._statuses.get(view - 1, {}).values())
+        statuses = tuple(self._statuses.entries(view - 1))
         certs = self._valid_status_certs(view - 1, statuses)
         if certs is None:
             return

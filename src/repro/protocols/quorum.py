@@ -1,0 +1,286 @@
+"""Unified quorum accounting: one vote-tracking engine for every protocol.
+
+Every protocol in the repro collects "signed votes until a threshold of
+distinct signers forms" — the paper's core primitive.  Before this module
+each protocol kept ad-hoc per-value dicts (``_votes.setdefault(value, {})``
+and cousins), which at BRB n >= 201 made per-delivery bucket bookkeeping
+the profiled bottleneck and spread the threshold semantics over ~10 files.
+:class:`QuorumTracker` centralizes the accounting with a *count-only fast
+path*: per value it keeps a signer **bitmask** (duplicate detection and the
+tally are O(1) int ops; the count is ``mask.bit_count()``), appends raw
+``(signer, payload)`` pairs, and only materializes a sorted
+``SignedPayload`` bucket when a certificate / quorum-forward payload is
+actually needed — usually exactly once, at the threshold crossing.
+
+Thresholds and the paper's quorum-intersection argument
+-------------------------------------------------------
+
+The three threshold constants protocols feed into the tracker map directly
+onto the paper's counting arguments (n parties, f Byzantine):
+
+* ``n - f`` — the *commit quorum* (Figures 1, 3, 10 and the psync
+  protocols).  Two quorums of ``n - f`` intersect in at least ``n - 2f``
+  parties; with ``n >= 3f + 1`` that intersection contains an honest
+  party, so no two conflicting values can both gather a commit quorum —
+  the agreement half of the 2-round-BRB proof.  At exactly ``f = n/3``
+  the intersection of two conflicting quorums consists *solely* of
+  double-voting Byzantine parties (Figure 5's exposure trick), which is
+  precisely what :attr:`QuorumTracker.equivocators` reports.
+* ``f + 1`` — the *honest witness* threshold (Figures 6, 8, 9 and
+  Bracha's ready amplification).  Any ``f + 1`` signers include at least
+  one honest party, so a claim backed by ``f + 1`` signatures was vouched
+  for by someone who follows the protocol.
+* ``2f + 1`` — the *honest majority quorum* (Bracha's deliver rule, FaB's
+  re-proposal majority).  Of any ``2f + 1`` signers at least ``f + 1``
+  are honest, i.e. honest parties form a majority of the quorum — the
+  basis for carrying a value across views or confirming a deliver.
+
+Equivocation (the same signer voting for two different values) is the
+other half of the story: detection is opt-in per tracker
+(``detect_equivocation=True``) because the paper's protocols differ in
+whether an equivocating vote still counts toward each value (BRB: yes —
+per-value buckets are independent) or only the first vote counts
+(phase-king: first message per sender wins).  ``first_vote_only=True``
+selects the latter.
+
+Shared quorum-forward payloads
+------------------------------
+
+In the good case every party forms the *same* quorum (deliveries tie-break
+on content digests, so all parties see votes in one global order) and then
+multicasts an identical quorum-forward message.  :meth:`quorum_payload`
+therefore memoizes the built message in a world-scoped
+:class:`~repro.crypto.messages.ContentMemo` keyed by
+``(value, signer-mask)``: the n-th committer reuses the first committer's
+message *object*, so the network's per-multicast order-key digest is an
+identity hit instead of an O(quorum) content walk.  This is content-safe:
+signatures are deterministic (digest membership), so equal
+``(value, mask)`` implies byte-identical messages.
+"""
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Iterable
+
+__all__ = ["QuorumTracker", "commit_quorum", "honest_witness", "honest_majority"]
+
+
+def commit_quorum(n: int, f: int) -> int:
+    """The ``n - f`` commit-quorum threshold (quorum intersection)."""
+    return n - f
+
+
+def honest_witness(n: int, f: int) -> int:
+    """The ``f + 1`` threshold: any such set contains an honest party."""
+    return f + 1
+
+
+def honest_majority(n: int, f: int) -> int:
+    """The ``2f + 1`` threshold: honest parties form a quorum majority."""
+    return 2 * f + 1
+
+
+class QuorumTracker:
+    """Per-value vote accounting with a count-only fast path.
+
+    One tracker instance owns one logical vote collection (one protocol
+    step); the *value* keys may be plain values, ``(view, value)`` pairs,
+    or any hashable the protocol tallies by.  The hot path —
+    :meth:`add` — costs one dict probe plus integer bit operations; full
+    buckets are materialized lazily by :meth:`entries` /
+    :meth:`sorted_entries` / :meth:`quorum_payload`.
+
+    ``first_vote_only`` rejects a signer's votes for any value after its
+    first (phase-king semantics); the default counts an equivocating
+    signer in every value's tally (per-value buckets are independent,
+    matching the authenticated protocols).  ``detect_equivocation``
+    records signers observed voting for two different values in
+    :attr:`equivocators`.
+
+    ``checks`` counts tally updates (every :meth:`add` call) and is
+    aggregated per execution by
+    :class:`~repro.sim.instrumentation.Instrumentation` as the
+    ``quorum_checks`` counter on
+    :class:`~repro.sim.runner.RunResult` — for trackers built through
+    :meth:`repro.sim.process.Party.quorum_tracker`, which registers
+    them.  Transient one-shot tallies (validating a justification set,
+    resolving a BA) construct the class directly and stay out of the
+    counter by convention.
+    """
+
+    __slots__ = (
+        "checks",
+        "equivocators",
+        "_slots",
+        "_voted",
+        "_first_only",
+        "_detect",
+        "_shared",
+    )
+
+    def __init__(
+        self,
+        *,
+        first_vote_only: bool = False,
+        detect_equivocation: bool = False,
+        shared_memo: Any | None = None,
+    ):
+        self.checks = 0
+        self.equivocators: set[int] = set()
+        #: value -> [signer_mask, entries-or-None]; insertion-ordered, so
+        #: iteration visits values in first-vote order like the dict
+        #: buckets this class replaced.
+        self._slots: dict[Hashable, list] = {}
+        self._voted = 0  # mask of signers that voted for any value
+        self._first_only = first_vote_only
+        self._detect = detect_equivocation
+        self._shared = shared_memo  # world-scoped quorum-payload memo
+
+    # ------------------------------------------------------------------ #
+    # the hot path
+    # ------------------------------------------------------------------ #
+
+    def add(self, value: Hashable, signer: int, payload: Any = None) -> int:
+        """Record a vote; return the value's new tally, or 0 if rejected.
+
+        Rejection means the vote changed nothing: the signer already
+        voted for this value (duplicate-signer rejection), or — in
+        ``first_vote_only`` mode — for any value.  The return value is
+        the count *after* a successful add, so a threshold crossing is
+        the single call where ``add(...) == threshold``.
+        """
+        self.checks += 1
+        bit = 1 << signer
+        voted = self._voted
+        slot = self._slots.get(value)
+        if slot is None:
+            if voted & bit:
+                # Signer already voted elsewhere: equivocation.
+                if self._detect:
+                    self.equivocators.add(signer)
+                if self._first_only:
+                    return 0
+            self._slots[value] = [
+                bit, None if payload is None else [(signer, payload)]
+            ]
+            self._voted = voted | bit
+            return 1
+        mask = slot[0]
+        if mask & bit:
+            return 0  # duplicate signer for this value
+        if voted & bit:
+            if self._detect:
+                self.equivocators.add(signer)
+            if self._first_only:
+                return 0
+        mask |= bit
+        slot[0] = mask
+        if payload is not None:
+            entries = slot[1]
+            if entries is None:
+                slot[1] = [(signer, payload)]
+            else:
+                entries.append((signer, payload))
+        self._voted = voted | bit
+        return mask.bit_count()
+
+    # ------------------------------------------------------------------ #
+    # tallies
+    # ------------------------------------------------------------------ #
+
+    def count(self, value: Hashable) -> int:
+        """Current tally for ``value`` (0 when never voted for)."""
+        slot = self._slots.get(value)
+        return slot[0].bit_count() if slot is not None else 0
+
+    def seen(self, value: Hashable, signer: int) -> bool:
+        """True iff ``signer``'s vote for ``value`` was recorded."""
+        slot = self._slots.get(value)
+        return slot is not None and bool(slot[0] >> signer & 1)
+
+    def values(self) -> Iterable[Hashable]:
+        """Tallied values, in first-vote order."""
+        return self._slots.keys()
+
+    def value_counts(self) -> dict[Hashable, int]:
+        """``{value: tally}`` in first-vote order (a fresh dict)."""
+        return {
+            value: slot[0].bit_count() for value, slot in self._slots.items()
+        }
+
+    def signers(self, value: Hashable) -> list[int]:
+        """Recorded signers of ``value``, ascending (decoded bitmask)."""
+        slot = self._slots.get(value)
+        if slot is None:
+            return []
+        mask = slot[0]
+        out = []
+        while mask:
+            low = mask & -mask
+            out.append(low.bit_length() - 1)
+            mask ^= low
+        return out
+
+    def vote_of(self, signer: int, default: Any = None) -> Any:
+        """The (first) value ``signer`` voted for, else ``default``.
+
+        Scans the value slots; meant for rare lookups like phase-king's
+        king-value read, not for the per-delivery path.
+        """
+        bit = 1 << signer
+        for value, slot in self._slots.items():
+            if slot[0] & bit:
+                return value
+        return default
+
+    @property
+    def equivocation_detected(self) -> bool:
+        """True iff some signer was seen voting for two values."""
+        return bool(self.equivocators)
+
+    # ------------------------------------------------------------------ #
+    # lazy bucket materialization
+    # ------------------------------------------------------------------ #
+
+    def entries(self, value: Hashable) -> list[Any]:
+        """Recorded payloads for ``value``, in arrival order."""
+        slot = self._slots.get(value)
+        if slot is None or slot[1] is None:
+            return []
+        return [payload for _, payload in slot[1]]
+
+    def entry_pairs(self, value: Hashable) -> list[tuple[int, Any]]:
+        """Recorded ``(signer, payload)`` pairs, in arrival order."""
+        slot = self._slots.get(value)
+        if slot is None or slot[1] is None:
+            return []
+        return list(slot[1])
+
+    def sorted_entries(self, value: Hashable) -> tuple:
+        """Payloads for ``value`` sorted by signer (certificate order)."""
+        slot = self._slots.get(value)
+        if slot is None or slot[1] is None:
+            return ()
+        return tuple(payload for _, payload in sorted(slot[1]))
+
+    def quorum_payload(
+        self, value: Hashable, build: Callable[[tuple], Any]
+    ) -> Any:
+        """The quorum-forward message for ``value``'s current supporters.
+
+        ``build`` receives the signer-sorted entry tuple and returns the
+        message payload (e.g. ``lambda q: (VOTE_QUORUM, q)``).  When the
+        tracker holds a world-scoped memo, the built message is shared by
+        every party whose supporter set (the signer mask) matches —
+        deterministic signatures make equal ``(value, mask)`` imply
+        byte-identical messages, so sharing changes object identity only.
+        """
+        slot = self._slots[value]
+        memo = self._shared
+        if memo is None:
+            return build(self.sorted_entries(value))
+        key = (value, slot[0])
+        hit = memo.get(key)
+        if hit is None:
+            hit = build(self.sorted_entries(value))
+            memo.put(key, hit)
+        return hit

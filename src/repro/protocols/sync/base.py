@@ -49,6 +49,15 @@ class SyncBroadcastParty(BroadcastParty):
         #: protocol" because delta (and hence the true skew) is unknown.
         self.sigma = big_delta
         self.lock: Value = BOTTOM
+        #: Countersigned-vote accounting shared by every sync BB: the
+        #: subclasses differ only in the tally key (value, ``(d, value)``)
+        #: and threshold, so one tracker per party serves them all.  The
+        #: namespace is per protocol class: parties of one world and one
+        #: protocol share quorum-forward messages, while two protocols
+        #: with equal tally keys can never collide in the memo.
+        self.votes = self.quorum_tracker(
+            f"sync-votes:{type(self).__name__}"
+        )
         self.broadcaster_values: dict[Value, float] = {}  # value -> first seen
         self.equivocation_detected_at: float | None = None
         self._ba = DolevStrongBa(

@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.crypto.signatures import SignedPayload
+from repro.protocols.quorum import commit_quorum
 from repro.protocols.sync.base import SyncBroadcastParty
 from repro.types import PartyId, Value, validate_resilience
 
@@ -34,9 +35,8 @@ class Bb2Delta(SyncBroadcastParty):
     def __init__(self, world, party_id: PartyId, **kwargs: Any):
         super().__init__(world, party_id, **kwargs)
         validate_resilience(self.n, self.f, requirement="f<n/3")
-        self.quorum = self.n - self.f
+        self.quorum = commit_quorum(self.n, self.f)
         self._voted = False
-        self._votes: dict[Value, dict[PartyId, SignedPayload]] = {}
         self._forwarded: set[Value] = set()
 
     @property
@@ -79,15 +79,13 @@ class Bb2Delta(SyncBroadcastParty):
         if not (isinstance(body, tuple) and len(body) == 2 and body[0] == VOTE):
             return
         value = body[1]
-        bucket = self._votes.setdefault(value, {})
-        bucket[vote.signer] = vote
-        if len(bucket) >= self.quorum and value not in self._forwarded:
+        count = self.votes.add(value, vote.signer, vote)
+        if count >= self.quorum and value not in self._forwarded:
             # Step 3: forward the quorum, lock, maybe commit.
             self._forwarded.add(value)
             self.multicast(
-                (
-                    VOTE_QUORUM,
-                    tuple(sorted(bucket.values(), key=lambda v: v.signer)),
+                self.votes.quorum_payload(
+                    value, lambda q: (VOTE_QUORUM, q)
                 ),
                 include_self=False,
             )

@@ -75,8 +75,7 @@ class BbDelta15Delta(SyncBroadcastParty):
         self.direct_rcv = False
         self.t_prop: float | None = None
         self._proposal_value: Value | None = None
-        # (d, value) -> signer -> vote message
-        self._votes: dict[tuple[float, Value], dict[PartyId, SignedPayload]] = {}
+        # self.votes is tallied per (d, value) grid point
         # (d, value) -> local arrival time of the (f+1)-th vote
         self._quorum_times: dict[tuple[float, Value], float] = {}
         self._forwarded_quorums: set[tuple[float, Value]] = set()
@@ -151,11 +150,7 @@ class BbDelta15Delta(SyncBroadcastParty):
             return
         self.note_broadcaster_value(value)
         key = (float(d), value)
-        bucket = self._votes.setdefault(key, {})
-        if vote.signer in bucket:
-            return
-        bucket[vote.signer] = vote
-        if len(bucket) == self.f + 1:
+        if self.votes.add(key, vote.signer, vote) == self.f + 1:
             self._quorum_times[key] = self.local_time()
             self._on_quorum(key)
 
@@ -164,10 +159,13 @@ class BbDelta15Delta(SyncBroadcastParty):
         t_votes = self._quorum_times[key]
         if key not in self._forwarded_quorums:
             self._forwarded_quorums.add(key)
-            votes = tuple(
-                sorted(self._votes[key].values(), key=lambda v: v.signer)
-            )[: self.f + 1]
-            self.multicast((VOTE_BATCH, votes), include_self=False)
+            witness = self.f + 1
+            self.multicast(
+                self.votes.quorum_payload(
+                    key, lambda q: (VOTE_BATCH, q[:witness])
+                ),
+                include_self=False,
+            )
         if self.t_prop is None:
             return
         # (b) Lock.

@@ -29,7 +29,6 @@ class BbDelta2Delta(SyncBroadcastParty):
         validate_resilience(self.n, self.f, requirement="f<n/2")
         self.direct_rcv = False
         self.t_prop: float | None = None
-        self._votes: dict[Value, dict[PartyId, SignedPayload]] = {}
         self._forwarded: set[Value] = set()
 
     @property
@@ -99,20 +98,19 @@ class BbDelta2Delta(SyncBroadcastParty):
         if value is None:
             return
         self.note_broadcaster_value(value)
-        bucket = self._votes.setdefault(value, {})
-        if vote.signer in bucket:
-            return
-        bucket[vote.signer] = vote
-        if len(bucket) == self.f + 1:
+        if self.votes.add(value, vote.signer, vote) == self.f + 1:
             self._on_quorum(value)
 
     def _on_quorum(self, value: Value) -> None:
         if value not in self._forwarded:
             self._forwarded.add(value)
-            votes = tuple(
-                sorted(self._votes[value].values(), key=lambda v: v.signer)
-            )[: self.f + 1]
-            self.multicast((VOTE_BATCH, votes), include_self=False)
+            witness = self.f + 1
+            self.multicast(
+                self.votes.quorum_payload(
+                    value, lambda q: (VOTE_BATCH, q[:witness])
+                ),
+                include_self=False,
+            )
         if self.t_prop is None:
             return
         # Locking is safe whenever a quorum exists: the Delta equivocation

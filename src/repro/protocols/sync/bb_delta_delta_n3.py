@@ -28,6 +28,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.crypto.signatures import SignedPayload
+from repro.protocols.quorum import commit_quorum
 from repro.protocols.sync.base import SyncBroadcastParty
 from repro.types import PartyId, Value, validate_resilience
 
@@ -42,12 +43,11 @@ class BbDeltaDeltaN3(SyncBroadcastParty):
     def __init__(self, world, party_id: PartyId, **kwargs: Any):
         super().__init__(world, party_id, **kwargs)
         validate_resilience(self.n, self.f, requirement="f<=n/3")
-        self.quorum = self.n - self.f
+        self.quorum = commit_quorum(self.n, self.f)
         self._voted = False
         self._vote_timer_expired = False
-        self._votes: dict[Value, dict[PartyId, SignedPayload]] = {}
         self._forwarded: set[Value] = set()
-        self._commit_msgs: dict[Value, dict[PartyId, SignedPayload]] = {}
+        self._commit_msgs = self.quorum_tracker()
         self._vote_quorum_times: dict[Value, float] = {}  # value -> local time
 
     @property
@@ -111,11 +111,12 @@ class BbDeltaDeltaN3(SyncBroadcastParty):
         if value is None:
             return
         self.note_broadcaster_value(value)  # votes embed the proposal
-        bucket = self._votes.setdefault(value, {})
-        if vote.signer not in bucket:
-            bucket[vote.signer] = vote
-            if len(bucket) >= self.quorum and value not in self._vote_quorum_times:
-                self._vote_quorum_times[value] = self.local_time()
+        count = self.votes.add(value, vote.signer, vote)
+        if (
+            count >= self.quorum
+            and value not in self._vote_quorum_times
+        ):
+            self._vote_quorum_times[value] = self.local_time()
         self._try_commit()
 
     def _try_commit(self) -> None:
@@ -124,17 +125,14 @@ class BbDeltaDeltaN3(SyncBroadcastParty):
             return
         if self.equivocation_detected_at is not None:
             return
-        for value, bucket in self._votes.items():
-            if len(bucket) < self.quorum:
+        for value in self.votes.values():
+            if self.votes.count(value) < self.quorum:
                 continue
             if value not in self._forwarded:
                 self._forwarded.add(value)
                 self.multicast(
-                    (
-                        VOTE_QUORUM,
-                        tuple(
-                            sorted(bucket.values(), key=lambda v: v.signer)
-                        ),
+                    self.votes.quorum_payload(
+                        value, lambda q: (VOTE_QUORUM, q)
                     ),
                     include_self=False,
                 )
@@ -150,7 +148,7 @@ class BbDeltaDeltaN3(SyncBroadcastParty):
 
     def _on_commit_msg(self, msg: SignedPayload) -> None:
         value = msg.payload[1]
-        self._commit_msgs.setdefault(value, {})[msg.signer] = msg
+        self._commit_msgs.add(value, msg.signer, msg)
 
     # ------------------------------------------------------------------ #
     # step 4
@@ -159,17 +157,17 @@ class BbDeltaDeltaN3(SyncBroadcastParty):
     def _lock_and_ba(self) -> None:
         quorum_values = [
             value
-            for value, bucket in self._votes.items()
-            if len(bucket) >= self.quorum
+            for value in self.votes.values()
+            if self.votes.count(value) >= self.quorum
         ]
         if len(quorum_values) == 1:
             self.lock = quorum_values[0]
         elif len(quorum_values) >= 2:
             exposed = self._exposed_byzantine(quorum_values)
-            for value in sorted(self._commit_msgs, key=repr):
+            for value in sorted(self._commit_msgs.values(), key=repr):
                 honest_committers = [
                     signer
-                    for signer in self._commit_msgs[value]
+                    for signer in self._commit_msgs.signers(value)
                     if signer not in exposed
                 ]
                 if honest_committers:
@@ -182,4 +180,4 @@ class BbDeltaDeltaN3(SyncBroadcastParty):
     def _exposed_byzantine(self, quorum_values: list[Value]) -> set[PartyId]:
         """Intersection of two conflicting vote quorums: double voters."""
         first, second = quorum_values[0], quorum_values[1]
-        return set(self._votes[first]) & set(self._votes[second])
+        return set(self.votes.signers(first)) & set(self.votes.signers(second))

@@ -42,8 +42,7 @@ class BbDeltaDeltaSync(SyncBroadcastParty):
         validate_resilience(self.n, self.f, requirement="f<n/2")
         self.rank: float = self.big_delta + 1
         self._voted = False
-        # value -> signer -> (claimed d, vote message)
-        self._votes: dict[Value, dict[PartyId, tuple[float, SignedPayload]]] = {}
+        # self.votes payloads are (claimed d, vote message) pairs
         self._scheduled_checks: set[tuple[Value, float]] = set()
 
     @property
@@ -100,10 +99,8 @@ class BbDeltaDeltaSync(SyncBroadcastParty):
         if value is None:
             return
         self.note_broadcaster_value(value)
-        bucket = self._votes.setdefault(value, {})
-        if vote.signer in bucket:
+        if not self.votes.add(value, vote.signer, (d, vote)):
             return
-        bucket[vote.signer] = (d, vote)
         self._evaluate(value)
 
     def _candidate_ranks(self, value: Value) -> list[float]:
@@ -113,7 +110,7 @@ class BbDeltaDeltaSync(SyncBroadcastParty):
         so the distinct candidate values are the sorted d's from position
         f onward (0-indexed).
         """
-        ds = sorted(d for d, _ in self._votes[value].values())
+        ds = sorted(d for d, _ in self.votes.entries(value))
         if len(ds) <= self.f:
             return []
         return sorted(set(ds[self.f:]))
@@ -144,7 +141,7 @@ class BbDeltaDeltaSync(SyncBroadcastParty):
         eligible = sorted(
             (
                 (d, vote)
-                for d, vote in self._votes[value].values()
+                for d, vote in self.votes.entries(value)
                 if d <= t
             ),
             key=lambda item: (item[0], item[1].signer),

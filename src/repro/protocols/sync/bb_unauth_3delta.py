@@ -31,6 +31,7 @@ from typing import Any
 from repro.errors import ConfigurationError
 from repro.protocols.base import BroadcastParty
 from repro.protocols.phase_king import PhaseKingBa
+from repro.protocols.quorum import commit_quorum, honest_witness
 from repro.types import BOTTOM, PartyId, Value, validate_resilience
 
 PROPOSE = "u-propose"
@@ -59,10 +60,13 @@ class BbUnauth3Delta(BroadcastParty):
         self.big_delta = big_delta
         self.sigma = big_delta  # conservative in-protocol skew, as usual
         self.lock: Value = BOTTOM
+        self.ready_amplify_threshold = honest_witness(self.n, self.f)
+        self.deliver_threshold = commit_quorum(self.n, self.f)
         self._echoed = False
         self._readied = False
-        self._echoes: dict[Value, set[PartyId]] = {}
-        self._readies: dict[Value, set[PartyId]] = {}
+        # Count-only unauthenticated tallies (channel sender = signer).
+        self._echoes = self.quorum_tracker()
+        self._readies = self.quorum_tracker()
         self._ba = PhaseKingBa(
             self,
             tag=("upk", broadcaster),
@@ -116,15 +120,16 @@ class BbUnauth3Delta(BroadcastParty):
         self.multicast((ECHO, value))
 
     def _on_echo(self, sender: PartyId, value: Value) -> None:
-        self._echoes.setdefault(value, set()).add(sender)
-        if len(self._echoes[value]) >= self.echo_threshold:
+        # A duplicate echo returns 0 and skips the re-check, which is
+        # safe: _send_ready is idempotent behind the _readied flag.
+        if self._echoes.add(value, sender) >= self.echo_threshold:
             self._send_ready(value)
 
     def _on_ready(self, sender: PartyId, value: Value) -> None:
-        self._readies.setdefault(value, set()).add(sender)
-        if len(self._readies[value]) >= self.f + 1:
+        count = self._readies.add(value, sender)
+        if count >= self.ready_amplify_threshold:
             self._send_ready(value)
-        if len(self._readies[value]) >= self.n - self.f:
+        if count >= self.deliver_threshold:
             if self.lock is BOTTOM:
                 self.lock = value
             if (

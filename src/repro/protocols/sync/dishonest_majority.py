@@ -42,6 +42,7 @@ from typing import Any
 from repro.crypto.signatures import SignedPayload
 from repro.protocols.ba import DS_MSG, DolevStrongInstance
 from repro.protocols.base import BroadcastParty
+from repro.protocols.quorum import QuorumTracker, commit_quorum
 from repro.types import BOTTOM, PartyId, Value, validate_resilience
 
 PROPOSE = "wan-propose"
@@ -104,7 +105,7 @@ class WanStyleBb(BroadcastParty):
         )
         validate_resilience(self.n, self.f, requirement="f<n")
         self.big_delta = big_delta
-        self.h = self.n - self.f
+        self.h = commit_quorum(self.n, self.f)
         self.tc_rounds = trustcast_rounds(self.n, self.f)
         self.round_duration = big_delta
         self.vote_tc = {
@@ -197,9 +198,9 @@ class WanStyleBb(BroadcastParty):
         for instance in instances.values():
             instance.boundary()
 
-    def _collect_valid_votes(self) -> dict[Value, set[PartyId]]:
-        """Votes delivered by the vote TrustCasts, by embedded value."""
-        votes: dict[Value, set[PartyId]] = {}
+    def _collect_valid_votes(self) -> "QuorumTracker":
+        """Votes delivered by the vote TrustCasts, tallied by value."""
+        votes = self.quorum_tracker()
         for pid, instance in self.vote_tc.items():
             delivered = instance.delivered
             if not isinstance(delivered, SignedPayload):
@@ -226,7 +227,7 @@ class WanStyleBb(BroadcastParty):
                 continue
             value = inner[1]
             self.broadcaster_values.add(value)  # votes carry evidence
-            votes.setdefault(value, set()).add(pid)
+            votes.add(value, pid)
         return votes
 
     def _end_vote_phase(self) -> None:
@@ -235,11 +236,14 @@ class WanStyleBb(BroadcastParty):
             return
         if len(self.broadcaster_values) > 1:
             return  # equivocation evidence: never fast-commit
-        supporters = votes.get(self.proposal_value, set())
-        if len(supporters) >= self.h and not self.has_committed:
+        if (
+            votes.count(self.proposal_value) >= self.h
+            and not self.has_committed
+        ):
             self.commit(self.proposal_value)
             cert_votes = tuple(
-                self.vote_tc[pid].delivered for pid in sorted(supporters)
+                self.vote_tc[pid].delivered
+                for pid in votes.signers(self.proposal_value)
             )[: self.h]
             # delivered values here are the voters' SignedPayload votes.
             self.cert_tc[self.id].broadcast(

@@ -11,6 +11,19 @@ queue drops flagged entries when they surface at the heap top (or in a bulk
 compaction once they dominate the heap).  Live-entry bookkeeping is kept
 incrementally — ``len(queue)`` and ``bool(queue)`` are O(1), never a heap
 scan — which matters because the scheduler polls the queue once per event.
+
+Arena mode (``recycle=True``): message deliveries dominate event volume
+(O(n^2) per protocol round) and their :class:`Event` cells never escape —
+the network keeps no handle, so nothing can cancel them after the fact.
+Such events are pushed with ``transient=True`` and their cells are
+*recycled* through a freelist once the scheduler has run them, replacing
+one object allocation per delivery with a handful of slot stores.  Cell
+identity is an implementation detail for transient events; timer events
+(whose handles parties retain for :meth:`Event.cancel`) are never recycled.
+The ``perf`` instrumentation preset enables the arena; ``full`` keeps
+allocating fresh cells so event identity semantics stay exactly as before.
+Recycling never affects ordering — heap entries are plain-data tuples and
+``seq`` still increments per push — so both modes replay the same schedule.
 """
 from __future__ import annotations
 
@@ -34,14 +47,21 @@ class Event:
     processed in a content-determined order that is invariant across the
     paired executions of the lower-bound constructions — the model treats
     same-instant delivery order as adversary-chosen anyway.
+
+    ``args`` are positional arguments the scheduler passes to ``action``
+    when the event fires; binding them here lets high-volume callers
+    (message deliveries) skip allocating a ``partial`` per event.
     """
 
     time: float
     priority: int
     order_key: bytes
     seq: int
-    action: Callable[[], None] = field(compare=False)
+    action: Callable[..., None] = field(compare=False)
+    args: tuple = field(default=(), compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: Freelist-eligible: no handle escaped, recycled after firing.
+    transient: bool = field(default=False, compare=False)
     label: str = field(default="", compare=False)
     #: Back-reference to the owning queue while the event sits in its heap;
     #: cleared on pop so a late ``cancel()`` cannot corrupt the counters.
@@ -67,26 +87,59 @@ class EventQueue:
     enters the heap's hot path.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, recycle: bool = False) -> None:
         self._heap: list[tuple[float, int, bytes, int, Event]] = []
         self._counter = itertools.count()
         self._live = 0  # non-cancelled events currently in the heap
         self._cancelled = 0  # cancelled events awaiting lazy removal
+        self._recycle = recycle
+        self._free: list[Event] = []
+        self.events_recycled = 0  # transient cells reused from the freelist
 
     def push(
         self,
         time: float,
-        action: Callable[[], None],
+        action: Callable[..., None],
         *,
         priority: int = 0,
         order_key: bytes = b"",
         label: str = "",
+        args: tuple = (),
+        transient: bool = False,
     ) -> Event:
-        """Schedule ``action`` at ``time``; returns a cancellable handle."""
+        """Schedule ``action(*args)`` at ``time``; returns a cancellable
+        handle.  ``transient=True`` marks the event as handle-free so an
+        arena-mode queue may recycle its cell after the scheduler runs it
+        — callers must not retain the returned handle for such events."""
         seq = next(self._counter)
-        event = Event(
-            time, priority, order_key, seq, action, label=label, queue=self,
-        )
+        if transient and self._recycle:
+            free = self._free
+            if free:
+                event = free.pop()
+                event.time = time
+                event.priority = priority
+                event.order_key = order_key
+                event.seq = seq
+                event.action = action
+                event.args = args
+                # Reset the flag here, not only in release(): a caller
+                # that wrongly retained a transient handle and cancelled
+                # it while the cell sat in the freelist must not kill the
+                # unrelated delivery that next reuses the cell.
+                event.cancelled = False
+                event.label = label
+                event.queue = self
+                self.events_recycled += 1
+            else:
+                event = Event(
+                    time, priority, order_key, seq, action, args,
+                    transient=True, label=label, queue=self,
+                )
+        else:
+            event = Event(
+                time, priority, order_key, seq, action, args,
+                label=label, queue=self,
+            )
         heapq.heappush(self._heap, (time, priority, order_key, seq, event))
         self._live += 1
         return event
@@ -103,6 +156,18 @@ class EventQueue:
             self._live -= 1
             return event
         return None
+
+    def release(self, event: Event) -> None:
+        """Return a fired transient event's cell to the freelist.
+
+        Only the scheduler calls this, after ``event.action`` has run.
+        The callback references are dropped so the freelist never pins
+        message payloads beyond the delivery that carried them.
+        """
+        event.action = _released
+        event.args = ()
+        event.cancelled = False
+        self._free.append(event)
 
     def peek_time(self) -> float | None:
         """Time of the earliest pending event without removing it."""
@@ -135,3 +200,8 @@ class EventQueue:
 
     def __bool__(self) -> bool:
         return self._live > 0
+
+
+def _released() -> None:
+    """Placeholder action on freelist cells; firing one is a queue bug."""
+    raise RuntimeError("released event cell fired — freelist misuse")

@@ -51,6 +51,16 @@ class Instrumentation:
 
     Commit tracking (:meth:`note_commit`) is always on: it is O(commits),
     not O(messages), and the harness's agreement checks depend on it.
+
+    The bundle is also the home of two cheap always-on counters: every
+    :class:`~repro.protocols.quorum.QuorumTracker` a party creates
+    registers here (:meth:`register_quorum_tracker`), and
+    :attr:`quorum_checks` / :attr:`equivocations_detected` aggregate the
+    trackers' tallies at result time — the hot path only increments a
+    slot on its own tracker.  ``recycle_events`` opts the simulator's
+    event queue into arena mode (cells of fired deliveries are reused);
+    it is a pure allocation strategy, enabled by the ``perf`` preset and
+    off under ``full`` so event identity semantics stay untouched there.
     """
 
     def __init__(
@@ -60,6 +70,7 @@ class Instrumentation:
         rounds: bool = True,
         transcripts: bool = True,
         envelopes: bool = False,
+        recycle_events: bool = False,
     ):
         self.name = name
         self.accountant: RoundAccountant | None = (
@@ -68,6 +79,8 @@ class Instrumentation:
         self._transcripts = transcripts
         self.envelopes: list["Envelope"] | None = [] if envelopes else None
         self.commit_order: list[PartyId] = []
+        self.recycle_events = recycle_events
+        self._quorum_trackers: list[Any] = []
         self._attached = False
 
     # ------------------------------------------------------------------ #
@@ -99,6 +112,25 @@ class Instrumentation:
     def note_commit(self, party_id: PartyId) -> None:
         """Record that ``party_id`` committed (in global commit order)."""
         self.commit_order.append(party_id)
+
+    def register_quorum_tracker(self, tracker: Any) -> None:
+        """Enroll a party's quorum tracker for counter aggregation."""
+        self._quorum_trackers.append(tracker)
+
+    @property
+    def quorum_checks(self) -> int:
+        """Total tally updates across this execution's quorum trackers."""
+        return sum(t.checks for t in self._quorum_trackers)
+
+    @property
+    def equivocations_detected(self) -> int:
+        """Equivocating signers observed, summed over all trackers.
+
+        Per-tracker detection is opt-in, so this counts only protocols
+        that asked for it; the same signer caught by k parties' trackers
+        counts k times (each party independently witnessed the proof).
+        """
+        return sum(len(t.equivocators) for t in self._quorum_trackers)
 
     def mark_attached(self) -> None:
         """Claim this bundle for one execution (called by the world).
@@ -135,8 +167,15 @@ def rounds_instrumentation() -> Instrumentation:
 
 
 def perf_instrumentation() -> Instrumentation:
-    """Commit tracking only: the fast path for sweeps and benchmarks."""
-    return Instrumentation(name="perf", rounds=False, transcripts=False)
+    """Commit tracking only: the fast path for sweeps and benchmarks.
+
+    Also the only preset that enables the event arena (``recycle_events``):
+    delivery-event cells are reused after firing, shedding one allocation
+    per message at n >= 100 scales.
+    """
+    return Instrumentation(
+        name="perf", rounds=False, transcripts=False, recycle_events=True
+    )
 
 
 #: Preset name -> factory.

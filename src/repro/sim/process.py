@@ -18,6 +18,7 @@ from repro.sim.transcript import Transcript
 from repro.types import PartyId, Value
 
 if TYPE_CHECKING:
+    from repro.protocols.quorum import QuorumTracker
     from repro.sim.runner import World
 
 
@@ -114,6 +115,48 @@ class Party(Agent):
         """
         intern = getattr(self.world, "intern_payload", None)
         return payload if intern is None else intern(payload)
+
+    def quorum_tracker(
+        self,
+        namespace: str | None = None,
+        *,
+        first_vote_only: bool = False,
+        detect_equivocation: bool = False,
+    ) -> "QuorumTracker":
+        """A :class:`~repro.protocols.quorum.QuorumTracker` for this party.
+
+        The tracker is enrolled with the world's instrumentation bundle
+        (so its tallies roll up into ``RunResult.quorum_checks`` /
+        ``equivocations_detected``).  Passing a ``namespace`` additionally
+        attaches a world-scoped memo for :meth:`QuorumTracker.
+        quorum_payload`, letting every party of the protocol step named
+        by the namespace share one quorum-forward message object per
+        ``(value, signer-set)`` — all parties of one world and step must
+        use the same namespace (and adversary brains sharing the outer
+        world's memos join the same pool, intentionally: their signatures
+        are as deterministic as honest ones).
+        """
+        from repro.protocols.quorum import QuorumTracker
+
+        world = self.world
+        shared = None
+        if namespace is not None:
+            shared_memo = getattr(world, "shared_memo", None)
+            if shared_memo is not None:
+                shared = shared_memo(f"quorum::{namespace}")
+        tracker = QuorumTracker(
+            first_vote_only=first_vote_only,
+            detect_equivocation=detect_equivocation,
+            shared_memo=shared,
+        )
+        instrumentation = getattr(world, "instrumentation", None)
+        if instrumentation is not None:
+            register = getattr(
+                instrumentation, "register_quorum_tracker", None
+            )
+            if register is not None:
+                register(tracker)
+        return tracker
 
     def verify(self, signed) -> bool:
         return self.registry.verify(signed)

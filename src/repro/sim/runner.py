@@ -66,7 +66,9 @@ class World:
         )
         self.instrumentation.mark_attached()
         self.accountant = self.instrumentation.accountant
-        self.sim = Simulator()
+        self.sim = Simulator(
+            recycle_events=self.instrumentation.recycle_events
+        )
         self.registry = KeyRegistry(n)
         self.network = Network(
             self.sim,
@@ -213,6 +215,9 @@ class World:
             messages_sent=self.network.messages_sent,
             final_time=self.sim.now,
             events_processed=self.sim.events_processed,
+            events_recycled=self.sim.events_recycled,
+            quorum_checks=self.instrumentation.quorum_checks,
+            equivocations_detected=self.instrumentation.equivocations_detected,
             instrumentation=self.instrumentation.name,
             rounds_recorded=self.accountant is not None,
         )
@@ -232,6 +237,12 @@ class RunResult:
     messages_sent: int = 0
     final_time: float = 0.0
     events_processed: int = 0
+    #: Arena-mode (perf preset) delivery cells reused; 0 under ``full``.
+    events_recycled: int = 0
+    #: Tally updates across every party's quorum trackers.
+    quorum_checks: int = 0
+    #: Equivocating signers witnessed by detection-enabled trackers.
+    equivocations_detected: int = 0
     instrumentation: str = "full"
     rounds_recorded: bool = True
 

@@ -14,10 +14,17 @@ from repro.sim.events import Event, EventQueue
 
 
 class Simulator:
-    """Deterministic discrete-event simulation kernel."""
+    """Deterministic discrete-event simulation kernel.
 
-    def __init__(self) -> None:
-        self._queue = EventQueue()
+    ``recycle_events=True`` turns on the event queue's arena mode:
+    transient events (message deliveries) have their cells recycled after
+    firing.  The world enables it for the ``perf`` instrumentation preset
+    only, so under ``full`` instrumentation event identity semantics are
+    untouched.
+    """
+
+    def __init__(self, *, recycle_events: bool = False) -> None:
+        self._queue = EventQueue(recycle=recycle_events)
         self._now = 0.0
         self._running = False
         self._events_processed = 0
@@ -31,22 +38,34 @@ class Simulator:
     def events_processed(self) -> int:
         return self._events_processed
 
+    @property
+    def events_recycled(self) -> int:
+        """Transient event cells reused from the arena freelist."""
+        return self._queue.events_recycled
+
     def schedule_at(
         self,
         time: float,
-        action: Callable[[], None],
+        action: Callable[..., None],
         *,
         priority: int = 0,
         order_key: bytes = b"",
         label: str = "",
+        args: tuple = (),
+        transient: bool = False,
     ) -> Event:
-        """Schedule ``action`` at absolute virtual time ``time``."""
+        """Schedule ``action(*args)`` at absolute virtual time ``time``.
+
+        ``transient=True`` declares that the caller keeps no handle to the
+        returned event (so its cell may be recycled after it fires).
+        """
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule event at {time} before now={self._now}"
             )
         return self._queue.push(
-            time, action, priority=priority, order_key=order_key, label=label
+            time, action, priority=priority, order_key=order_key,
+            label=label, args=args, transient=transient,
         )
 
     def schedule_after(
@@ -83,13 +102,20 @@ class Simulator:
                 # pop directly instead of peeking then popping (one heap
                 # probe per event instead of two).
                 pop = self._queue.pop
+                release = self._queue.release
                 while True:
                     event = pop()
                     if event is None:
                         break
                     self._now = event.time
-                    event.action()
+                    args = event.args
+                    if args:
+                        event.action(*args)
+                    else:
+                        event.action()
                     self._events_processed += 1
+                    if event.transient:
+                        release(event)
                 return self._now
             while True:
                 next_time = self._queue.peek_time()
@@ -103,9 +129,15 @@ class Simulator:
                 event = self._queue.pop()
                 assert event is not None
                 self._now = event.time
-                event.action()
+                args = event.args
+                if args:
+                    event.action(*args)
+                else:
+                    event.action()
                 processed += 1
                 self._events_processed += 1
+                if event.transient:
+                    self._queue.release(event)
         finally:
             self._running = False
         return self._now

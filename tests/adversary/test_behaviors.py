@@ -14,7 +14,7 @@ from repro.adversary.behaviors import (
 from repro.adversary.broadcaster import equivocating_broadcaster
 from repro.sim.delays import FixedDelay
 from repro.sim.process import Party
-from repro.sim.runner import World
+from repro.sim.runner import World, run_broadcast
 
 
 class Gossip(Party):
@@ -270,3 +270,46 @@ class TestByzantineBudget:
                 delay_policy=FixedDelay(1.0),
                 byzantine=frozenset({0}),
             )
+
+
+class TestEquivocatingVoter:
+    """The ``equivocate_votes`` adversary double-signs per voting round."""
+
+    def _run(self, *, n=7, f=2, byzantine=frozenset({5, 6}), **kwargs):
+        from repro.adversary.behaviors import equivocate_votes
+        from repro.protocols.brb_2round import Brb2Round
+
+        return run_broadcast(
+            n=n,
+            f=f,
+            party_factory=Brb2Round.factory(broadcaster=0, input_value="v"),
+            byzantine=byzantine,
+            behavior_factory=equivocate_votes(broadcaster=0, **kwargs),
+        )
+
+    def test_liveness_and_agreement_survive(self):
+        result = self._run()
+        assert result.all_honest_committed()
+        assert result.agreement_holds()
+        assert result.committed_value() == "v"
+
+    def test_detection_path_exercised(self):
+        result = self._run()
+        # Every honest tracker that saw both votes flags each of the two
+        # equivocators; early terminators may miss the second vote.
+        assert result.equivocations_detected > 0
+
+    def test_custom_second_value(self):
+        result = self._run(second_value="decoy")
+        assert result.committed_value() == "v"
+        assert result.equivocations_detected > 0
+
+    def test_honest_runs_detect_nothing(self):
+        from repro.protocols.brb_2round import Brb2Round
+
+        result = run_broadcast(
+            n=7,
+            f=2,
+            party_factory=Brb2Round.factory(broadcaster=0, input_value="v"),
+        )
+        assert result.equivocations_detected == 0

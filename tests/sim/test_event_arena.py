@@ -1,0 +1,113 @@
+"""Tests for the event arena (freelist) in the queue and scheduler."""
+from __future__ import annotations
+
+from repro.sim.events import EventQueue
+from repro.sim.scheduler import Simulator
+
+
+class TestQueueArena:
+    def test_transient_cells_recycle_after_release(self):
+        queue = EventQueue(recycle=True)
+        first = queue.push(1.0, lambda: None, transient=True)
+        assert queue.pop() is first
+        queue.release(first)
+        second = queue.push(2.0, lambda: None, transient=True)
+        assert second is first  # the cell was reused
+        assert queue.events_recycled == 1
+        assert second.time == 2.0
+        assert second.transient
+
+    def test_non_transient_pushes_never_touch_the_freelist(self):
+        queue = EventQueue(recycle=True)
+        cell = queue.push(1.0, lambda: None, transient=True)
+        queue.pop()
+        queue.release(cell)
+        timer = queue.push(2.0, lambda: None)  # a cancellable timer
+        assert timer is not cell
+        assert not timer.transient
+        assert queue.events_recycled == 0
+
+    def test_recycle_disabled_marks_nothing_transient(self):
+        queue = EventQueue()  # full-instrumentation mode
+        event = queue.push(1.0, lambda: None, transient=True)
+        assert not event.transient  # identity semantics preserved
+        assert queue.events_recycled == 0
+
+    def test_released_cell_action_is_inert(self):
+        queue = EventQueue(recycle=True)
+        cell = queue.push(1.0, lambda: None, transient=True)
+        queue.pop()
+        queue.release(cell)
+        try:
+            cell.action()
+        except RuntimeError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("released cell fired without complaint")
+
+    def test_event_args_passed_positionally(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(1.0, lambda a, b: seen.append((a, b)), args=(1, 2))
+        sim.schedule_at(2.0, lambda: seen.append("plain"))
+        sim.run()
+        assert seen == [(1, 2), "plain"]
+
+
+class TestSimulatorArena:
+    def _burst(self, sim: Simulator, rounds: int) -> None:
+        def fanout(depth: int) -> None:
+            if depth == 0:
+                return
+            for _ in range(3):
+                sim.schedule_at(
+                    sim.now + 1.0,
+                    fanout,
+                    args=(depth - 1,),
+                    transient=True,
+                )
+
+        fanout(rounds)
+        sim.run()
+
+    def test_arena_recycles_in_cascades(self):
+        sim = Simulator(recycle_events=True)
+        self._burst(sim, 4)
+        assert sim.events_recycled > 0
+
+    def test_arena_off_by_default(self):
+        sim = Simulator()
+        self._burst(sim, 4)
+        assert sim.events_recycled == 0
+
+    def test_arena_identical_schedule(self):
+        """Recycling changes allocation, never order or timing."""
+
+        def run(recycle: bool) -> list[tuple[float, int]]:
+            sim = Simulator(recycle_events=recycle)
+            log: list[tuple[float, int]] = []
+
+            def fire(tag: int) -> None:
+                log.append((sim.now, tag))
+                if tag < 20:
+                    sim.schedule_at(
+                        sim.now + 0.5, fire, args=(tag + 2,), transient=True
+                    )
+
+            sim.schedule_at(0.0, fire, args=(0,), transient=True)
+            sim.schedule_at(0.0, fire, args=(1,), transient=True)
+            sim.run()
+            return log
+
+        assert run(True) == run(False)
+
+    def test_horizon_loop_also_recycles(self):
+        sim = Simulator(recycle_events=True)
+        for step in range(4):
+            sim.schedule_at(float(step), lambda: None, transient=True)
+        sim.run(until=1.5)
+        recycled_mid = sim.events_recycled
+        sim.schedule_at(1.6, lambda: None, transient=True)
+        sim.run(until=10.0)
+        assert sim.events_recycled >= recycled_mid
+        assert sim.events_recycled > 0
