@@ -20,6 +20,7 @@ visible PR over PR.  Entry points::
 
     PYTHONPATH=src python benchmarks/run_core_bench.py [output.json]
     PYTHONPATH=src python benchmarks/run_core_bench.py --smoke  # <60s CI run
+    PYTHONPATH=src python benchmarks/run_core_bench.py --profile  # + cProfile
     PYTHONPATH=src python -m repro bench --smoke                # print-only
 
 The grid executes through :class:`repro.analysis.engine.SweepEngine`;
@@ -32,7 +33,10 @@ See benchmarks/README.md for how to read the output.
 from __future__ import annotations
 
 import argparse
+import cProfile
+import io
 import json
+import pstats
 import statistics
 import subprocess
 import sys
@@ -52,6 +56,8 @@ REPS = 9  # median over 9: the 1-CPU CI boxes jitter full-mode walls ~10%
 #: Fewer reps past n=200: one rep is ~1s there and the relative jitter of
 #: a long run is far below the small-n rows'.
 REPS_LARGE = 5
+#: The n >= 701 scale rows run seconds per rep; 3 still gives a median.
+REPS_XLARGE = 3
 
 #: (label, protocol class, measure kwargs, instrumentation modes).  f is
 #: the largest fault budget each protocol's resilience bound admits at
@@ -65,6 +71,8 @@ CONFIGS = [
     ("brb_2round", Brb2Round, dict(n=201, f=66), ["perf"]),
     ("brb_2round", Brb2Round, dict(n=301, f=100), ["perf"]),
     ("brb_2round", Brb2Round, dict(n=501, f=166), ["perf"]),
+    ("brb_2round", Brb2Round, dict(n=701, f=233), ["perf"]),
+    ("brb_2round", Brb2Round, dict(n=1001, f=333), ["perf"]),
     ("psync_vbb_5f1", PsyncVbb5f1, dict(n=4, f=1, big_delta=1.0), ["full"]),
     ("psync_vbb_5f1", PsyncVbb5f1, dict(n=16, f=3, big_delta=1.0), ["full"]),
     (
@@ -73,6 +81,7 @@ CONFIGS = [
         dict(n=31, f=6, big_delta=1.0),
         ["full", "perf"],
     ),
+    ("psync_vbb_5f1", PsyncVbb5f1, dict(n=101, f=20, big_delta=1.0), ["perf"]),
 ]
 
 #: Reduced grid for CI: exercises both instrumentation modes, <60s total.
@@ -82,10 +91,15 @@ SMOKE_CONFIGS = [
     ("psync_vbb_5f1", PsyncVbb5f1, dict(n=16, f=3, big_delta=1.0), ["full"]),
 ]
 
-#: Latency-distribution grid: seeded random-delay percentiles per point.
-DISTRIBUTION_GRID = [(31, 10), (101, 33)]
+#: Latency-distribution grid: seeded random-delay percentiles per point,
+#: covering both tracked protocol families.
+DISTRIBUTION_GRID = [
+    ("brb_2round", 31, 10),
+    ("brb_2round", 101, 33),
+    ("psync_vbb_5f1", 31, 6),
+]
 DISTRIBUTION_SAMPLES = 50
-SMOKE_DISTRIBUTION_GRID = [(16, 5)]
+SMOKE_DISTRIBUTION_GRID = [("brb_2round", 16, 5)]
 SMOKE_DISTRIBUTION_SAMPLES = 8
 
 
@@ -106,6 +120,7 @@ def measure_one(
     kwargs: dict,
     instrumentation: str = "full",
     reps: int = REPS,
+    profile: bool = False,
 ) -> dict:
     measure = lambda: measure_round_good_case(  # noqa: E731
         cls, instrumentation=instrumentation, **kwargs
@@ -125,7 +140,7 @@ def measure_one(
     stats = digest_stats.snapshot()
     events = meas.result.events_processed
 
-    return {
+    row = {
         "protocol": label,
         **{k: v for k, v in kwargs.items()},
         "instrumentation": instrumentation,
@@ -140,7 +155,28 @@ def measure_one(
         "plans_compiled": stats["plans_compiled"],
         "quorum_checks": meas.result.quorum_checks,
         "events_recycled": meas.result.events_recycled,
+        "bucket_appends": meas.result.bucket_appends,
+        "heap_pushes_avoided": meas.result.heap_pushes_avoided,
     }
+    if profile:
+        # One extra rep under cProfile: the top-20 cumulative entries are
+        # what the "next bottleneck" claims in ROADMAP.md cite; they ride
+        # back on the row and land in the side artifact, never the JSON.
+        row["profile_top20"] = _profile_one(measure)
+    return row
+
+
+def _profile_one(measure) -> str:
+    """Top-20 cumulative-time profile of one measured run, as text."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    measure()
+    profiler.disable()
+    buffer = io.StringIO()
+    pstats.Stats(profiler, stream=buffer).sort_stats(
+        "cumulative"
+    ).print_stats(20)
+    return buffer.getvalue()
 
 
 def _print_row(row: dict) -> None:
@@ -155,19 +191,31 @@ def _print_row(row: dict) -> None:
         f" plans={row['plans_compiled']}"
         f" quorum={row['quorum_checks']}"
         f" recycled={row['events_recycled']}"
+        f" avoided={row['heap_pushes_avoided']}"
     )
 
 
 def _print_distribution_row(row: dict) -> None:
     print(
-        f"{'latency-dist':>14} n={row['n']:<3} f={row['f']:<3}"
+        f"{'latency-dist':>14} {row['protocol']:>14}"
+        f" n={row['n']:<3} f={row['f']:<3}"
         f" samples={row['samples']:<4}"
         f" p50={row['p50']:.4f} p90={row['p90']:.4f} p99={row['p99']:.4f}"
         f" mean={row['mean']:.4f}"
     )
 
 
-def run_grid(configs, *, reps: int | None, workers: int) -> list[dict]:
+def _default_reps(n: int) -> int:
+    if n <= 101:
+        return REPS
+    if n <= 501:
+        return REPS_LARGE
+    return REPS_XLARGE
+
+
+def run_grid(
+    configs, *, reps: int | None, workers: int, profile: bool = False
+) -> list[dict]:
     tasks = [
         SweepTask(
             measure_one,
@@ -176,11 +224,8 @@ def run_grid(configs, *, reps: int | None, workers: int) -> list[dict]:
                 cls=cls,
                 kwargs=kwargs,
                 instrumentation=mode,
-                reps=(
-                    reps
-                    if reps is not None
-                    else (REPS if kwargs["n"] <= 101 else REPS_LARGE)
-                ),
+                reps=reps if reps is not None else _default_reps(kwargs["n"]),
+                profile=profile,
             ),
             key=(label, kwargs["n"], kwargs["f"], mode),
         )
@@ -246,9 +291,14 @@ def run_core_bench(
     smoke: bool = False,
     workers: int = 1,
     reps: int | None = None,
+    profile: bool = False,
 ) -> dict:
     """Run the bench grid; write/merge ``output`` when given.
 
+    With ``profile=True`` every grid point runs one extra rep under
+    cProfile and the top-20 cumulative entries land in a
+    ``<output stem>.profile.txt`` next to the bench artifact — the
+    one-command reproduction of the "next bottleneck" profiling claims.
     Returns the document that was (or would have been) written.
     """
     configs = SMOKE_CONFIGS if smoke else CONFIGS
@@ -257,7 +307,12 @@ def run_core_bench(
         # giving the CI speedup-floor assert a real median to stand on
         # (2 reps would average in any noisy-neighbor outlier).
         reps = 5
-    rows = run_grid(configs, reps=reps, workers=workers)
+    rows = run_grid(configs, reps=reps, workers=workers, profile=profile)
+    profiles = [
+        (row, row.pop("profile_top20"))
+        for row in rows
+        if "profile_top20" in row
+    ]
     distribution = run_distribution(
         SMOKE_DISTRIBUTION_GRID if smoke else DISTRIBUTION_GRID,
         SMOKE_DISTRIBUTION_SAMPLES if smoke else DISTRIBUTION_SAMPLES,
@@ -295,6 +350,19 @@ def run_core_bench(
     if output is not None:
         output.write_text(json.dumps(doc, indent=1) + "\n")
         print(f"\nwrote {output}")
+    if profiles:
+        sections = [
+            f"== {row['protocol']} n={row['n']} f={row['f']}"
+            f" [{row['instrumentation']}] ==\n{text}"
+            for row, text in profiles
+        ]
+        if output is not None:
+            profile_path = output.with_suffix(".profile.txt")
+            profile_path.write_text("\n".join(sections))
+            print(f"wrote {profile_path}")
+        else:
+            # Print-only mode must not write files as a side effect.
+            print("\n" + "\n".join(sections))
     return doc
 
 
@@ -316,7 +384,13 @@ def build_parser(prog: str | None = None) -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--reps", type=int, default=None,
-        help="timing reps per row (default: 9, 5 past n=200 and in smoke)",
+        help="timing reps per row (default: 9, then 5/3 at larger n, "
+        "5 in smoke)",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="capture a cProfile top-20 (cumulative) per grid point and "
+        "write it to <output stem>.profile.txt next to the bench artifact",
     )
     return parser
 
@@ -328,6 +402,7 @@ def main(argv: list[str] | None = None) -> int:
         smoke=args.smoke,
         workers=args.workers,
         reps=args.reps,
+        profile=args.profile,
     )
     return 0
 

@@ -266,6 +266,21 @@ def sweep_async_rounds(
     )
 
 
+def _distribution_protocol(name: str):
+    """Resolve a latency-distribution protocol family by bench label."""
+    from repro.protocols.brb_2round import Brb2Round
+    from repro.protocols.psync.vbb_5f1 import PsyncVbb5f1
+
+    families = {"brb_2round": Brb2Round, "psync_vbb_5f1": PsyncVbb5f1}
+    try:
+        return families[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown distribution protocol {name!r}; "
+            f"expected one of {sorted(families)}"
+        ) from None
+
+
 def _random_delay_point(
     *,
     n: int,
@@ -273,19 +288,21 @@ def _random_delay_point(
     delta: float,
     seed: int,
     instrumentation: str = "perf",
+    protocol: str = "brb_2round",
 ) -> dict:
-    from repro.protocols.brb_2round import Brb2Round
     from repro.sim.delays import UniformDelay
     from repro.sim.runner import run_broadcast
 
+    cls = _distribution_protocol(protocol)
     result = run_broadcast(
         n=n,
         f=f,
-        party_factory=Brb2Round.factory(broadcaster=0, input_value="v"),
+        party_factory=cls.factory(broadcaster=0, input_value="v"),
         delay_policy=UniformDelay(0.0, delta, seed=seed),
         instrumentation=instrumentation,
     )
     return {
+        "protocol": protocol,
         "n": n,
         "f": f,
         "seed": seed,
@@ -303,10 +320,14 @@ def sweep_random_delays(
     delta: float = 1.0,
     engine: SweepEngine | None = None,
     instrumentation: str = "perf",
+    protocol: str = "brb_2round",
 ) -> list[dict]:
-    """Average-case BRB completion under seeded i.i.d. delays in [0, delta].
+    """Average-case completion under seeded i.i.d. delays in [0, delta].
 
-    Each of the ``samples`` points runs under a *deterministic per-point
+    ``protocol`` selects the family (``"brb_2round"`` — the default — or
+    ``"psync_vbb_5f1"``; delays stay below the psync protocol's
+    ``big_delta`` of 1.0, so views never time out in these runs).  Each
+    of the ``samples`` points runs under a *deterministic per-point
     seed* derived from the engine's ``base_seed`` (the engine injects it),
     so the whole distribution reproduces bit-for-bit at any worker count.
     The worst-case sweeps above are the paper's bounds; this one samples
@@ -315,11 +336,26 @@ def sweep_random_delays(
     percentile rows tracked in ``BENCH_core.json``.
     """
     engine = _default_engine(engine)
+    # The task key salts the injected per-point seed.  The default
+    # protocol keeps the pre-protocol-dimension key shape so every
+    # tracked BRB distribution number reproduces bit-for-bit from the
+    # same base_seed; only new families get protocol-salted keys.
+    def _key(index: int) -> tuple:
+        if protocol == "brb_2round":
+            return ("random-delay", n, f, index)
+        return ("random-delay", protocol, n, f, index)
+
     tasks = [
         SweepTask(
             _random_delay_point,
-            dict(n=n, f=f, delta=delta, instrumentation=instrumentation),
-            key=("random-delay", n, f, index),
+            dict(
+                n=n,
+                f=f,
+                delta=delta,
+                instrumentation=instrumentation,
+                protocol=protocol,
+            ),
+            key=_key(index),
             inject_seed=True,
         )
         for index in range(samples)
@@ -427,14 +463,20 @@ def latency_percentiles(
 
 def sweep_latency_distribution(
     *,
-    grid: list[tuple[int, int]],
+    grid: list[tuple],
     samples: int,
     delta: float = 1.0,
     engine: SweepEngine | None = None,
     instrumentation: str = "perf",
     percentiles: tuple[int, ...] = (50, 90, 99),
 ) -> list[dict]:
-    """Good-case latency *distribution* per ``(n, f)`` grid point.
+    """Good-case latency *distribution* per grid point.
+
+    Grid entries are ``(n, f)`` pairs (2-round-BRB, the original grid)
+    or ``(protocol, n, f)`` triples — ``protocol`` is a family label
+    accepted by :func:`sweep_random_delays` (``"brb_2round"`` /
+    ``"psync_vbb_5f1"``), so the tracked distribution covers more than
+    one protocol family.
 
     The paper's theorems bound the worst case; this benchmark measures
     where typical executions land: for each grid point it runs ``samples``
@@ -446,12 +488,17 @@ def sweep_latency_distribution(
     aggregates fully-committed executions only.  One row per grid
     point::
 
-        {"n": 101, "f": 33, "samples": 50, "delta": 1.0,
-         "p50": ..., "p90": ..., "p99": ..., "mean": ..., ...}
+        {"protocol": "brb_2round", "n": 101, "f": 33, "samples": 50,
+         "delta": 1.0, "p50": ..., "p90": ..., "p99": ..., "mean": ..., ...}
     """
     engine = _default_engine(engine)
     rows = []
-    for n, f in grid:
+    for entry in grid:
+        if len(entry) == 3:
+            protocol, n, f = entry
+        else:
+            n, f = entry
+            protocol = "brb_2round"
         points = sweep_random_delays(
             n=n,
             f=f,
@@ -459,10 +506,12 @@ def sweep_latency_distribution(
             delta=delta,
             engine=engine,
             instrumentation=instrumentation,
+            protocol=protocol,
         )
         latencies = [point["latency"] for point in points]
         rows.append(
             {
+                "protocol": protocol,
                 "n": n,
                 "f": f,
                 "samples": samples,

@@ -109,6 +109,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         smoke=args.smoke,
         workers=args.workers,
         reps=args.reps,
+        profile=args.profile,
     )
     return 0
 
@@ -194,6 +195,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", type=Path, default=None,
         help="write/merge a BENCH_core.json-style document here "
         "(default: print only)",
+    )
+    p.add_argument(
+        "--profile", action="store_true",
+        help="cProfile top-20 per grid point -> <output stem>.profile.txt",
     )
     p.set_defaults(fn=_cmd_bench)
 

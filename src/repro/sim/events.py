@@ -85,6 +85,11 @@ class EventQueue:
     ``seq`` is unique, so comparisons always resolve within the plain-data
     prefix and run entirely in C — the generated ``Event.__lt__`` never
     enters the heap's hot path.
+
+    :class:`~repro.sim.timeline.BucketTimeline` subclasses this queue and
+    replaces the heap with a bucketed calendar (same observable pop order);
+    the cell allocation/recycling machinery and the live/cancelled
+    bookkeeping below are shared by both backends.
     """
 
     def __init__(self, *, recycle: bool = False) -> None:
@@ -95,23 +100,23 @@ class EventQueue:
         self._recycle = recycle
         self._free: list[Event] = []
         self.events_recycled = 0  # transient cells reused from the freelist
+        #: Calendar-backend counters; a heap queue never moves them off 0.
+        self.bucket_appends = 0
+        self.heap_pushes_avoided = 0
 
-    def push(
+    def _obtain_cell(
         self,
         time: float,
+        priority: int,
+        order_key: bytes,
+        seq: int,
         action: Callable[..., None],
-        *,
-        priority: int = 0,
-        order_key: bytes = b"",
-        label: str = "",
-        args: tuple = (),
-        transient: bool = False,
+        args: tuple,
+        transient: bool,
+        label: str,
     ) -> Event:
-        """Schedule ``action(*args)`` at ``time``; returns a cancellable
-        handle.  ``transient=True`` marks the event as handle-free so an
-        arena-mode queue may recycle its cell after the scheduler runs it
-        — callers must not retain the returned handle for such events."""
-        seq = next(self._counter)
+        """A filled event cell: freelist reuse for transient pushes when
+        the arena is on, a fresh allocation otherwise."""
         if transient and self._recycle:
             free = self._free
             if free:
@@ -130,19 +135,74 @@ class EventQueue:
                 event.label = label
                 event.queue = self
                 self.events_recycled += 1
-            else:
-                event = Event(
-                    time, priority, order_key, seq, action, args,
-                    transient=True, label=label, queue=self,
-                )
-        else:
-            event = Event(
+                return event
+            return Event(
                 time, priority, order_key, seq, action, args,
-                label=label, queue=self,
+                transient=True, label=label, queue=self,
             )
+        return Event(
+            time, priority, order_key, seq, action, args,
+            label=label, queue=self,
+        )
+
+    def push(
+        self,
+        time: float,
+        action: Callable[..., None],
+        *,
+        priority: int = 0,
+        order_key: bytes = b"",
+        label: str = "",
+        args: tuple = (),
+        transient: bool = False,
+    ) -> Event:
+        """Schedule ``action(*args)`` at ``time``; returns a cancellable
+        handle.  ``transient=True`` marks the event as handle-free so an
+        arena-mode queue may recycle its cell after the scheduler runs it
+        — callers must not retain the returned handle for such events."""
+        seq = next(self._counter)
+        event = self._obtain_cell(
+            time, priority, order_key, seq, action, args, transient, label
+        )
         heapq.heappush(self._heap, (time, priority, order_key, seq, event))
         self._live += 1
         return event
+
+    def push_batch(
+        self,
+        time: float,
+        action: Callable[..., None],
+        args_seq: list[tuple],
+        *,
+        priority: int = 0,
+        order_key: bytes = b"",
+        label: str = "",
+        transient: bool = False,
+    ) -> int:
+        """Schedule ``action(*args)`` at ``time`` for every tuple in
+        ``args_seq``, sharing one ``(priority, order_key)`` prefix.
+
+        Exactly equivalent to calling :meth:`push` once per tuple (same
+        ``seq`` assignment, same pop order) — the batch form exists so a
+        multicast fan-out crosses the queue boundary once per distinct
+        delivery instant, which the calendar backend turns into one
+        bucket lookup for the whole run.  No handles are returned: batch
+        pushes are for fire-and-forget deliveries (use ``transient=True``
+        under the arena); returns the number of events scheduled.
+        """
+        heap = self._heap
+        counter = self._counter
+        obtain = self._obtain_cell
+        heappush = heapq.heappush
+        for args in args_seq:
+            seq = next(counter)
+            event = obtain(
+                time, priority, order_key, seq, action, args, transient,
+                label,
+            )
+            heappush(heap, (time, priority, order_key, seq, event))
+        self._live += len(args_seq)
+        return len(args_seq)
 
     def pop(self) -> Event | None:
         """Remove and return the earliest non-cancelled event, or ``None``."""
@@ -150,12 +210,25 @@ class EventQueue:
         while heap:
             event = heapq.heappop(heap)[4]
             if event.cancelled:
-                self._cancelled -= 1
+                self._discard_cancelled(event)
                 continue
             event.queue = None
             self._live -= 1
             return event
         return None
+
+    def _discard_cancelled(self, event: Event) -> None:
+        """Drop a cancelled entry surfacing from the backend structure.
+
+        Cancelled *transient* cells go back to the freelist: they were
+        heading for recycling anyway, and skipping them here used to leak
+        them from the arena — cancellation-heavy adversary runs would
+        slowly regress to plain allocation.
+        """
+        self._cancelled -= 1
+        if event.transient and self._recycle:
+            event.queue = None
+            self.release(event)
 
     def release(self, event: Event) -> None:
         """Return a fired transient event's cell to the freelist.
@@ -173,8 +246,7 @@ class EventQueue:
         """Time of the earliest pending event without removing it."""
         heap = self._heap
         while heap and heap[0][4].cancelled:
-            heapq.heappop(heap)
-            self._cancelled -= 1
+            self._discard_cancelled(heapq.heappop(heap)[4])
         if heap:
             return heap[0][0]
         return None
@@ -191,9 +263,14 @@ class EventQueue:
 
     def _compact(self) -> None:
         """Rebuild the heap without cancelled entries (amortized O(live))."""
-        self._heap = [entry for entry in self._heap if not entry[4].cancelled]
+        kept = []
+        for entry in self._heap:
+            if entry[4].cancelled:
+                self._discard_cancelled(entry[4])
+            else:
+                kept.append(entry)
+        self._heap = kept
         heapq.heapify(self._heap)
-        self._cancelled = 0
 
     def __len__(self) -> int:
         return self._live

@@ -71,8 +71,14 @@ class Instrumentation:
         transcripts: bool = True,
         envelopes: bool = False,
         recycle_events: bool = False,
+        timeline: str = "bucket",
     ):
         self.name = name
+        #: Event-queue backend for the world's simulator.  ``"bucket"``
+        #: (the calendar timeline) is the default in every preset —
+        #: backends replay byte-identical schedules, so this is a pure
+        #: performance knob; ``"heap"`` is kept for parity checks.
+        self.timeline = timeline
         self.accountant: RoundAccountant | None = (
             RoundAccountant() if rounds else None
         )

@@ -80,6 +80,11 @@ class Network:
         # path does an index load instead of a dict probe (20k+ times per
         # large run); a ``None`` slot is a never-attached party.
         self._inboxes: list[DeliverFn | None] = [None] * n
+        # Per-sender fan-out recipient lists, cached on first multicast:
+        # rebuilding the O(n) list per multicast is measurable at
+        # n >= 501, and lazy construction keeps world setup O(n) (a
+        # receive-only party never pays for a list it does not use).
+        self._fanouts: list[list[PartyId] | None] = [None] * n
         # Bind the observers once; ``None`` dead-strips their hot-path use.
         self._accountant = (
             instrumentation.accountant if instrumentation is not None else None
@@ -106,6 +111,14 @@ class Network:
         if self._inboxes[party] is not None:
             raise SimulationError(f"party {party} already attached")
         self._inboxes[party] = deliver
+
+    def _fanout_for(self, sender: PartyId) -> list[PartyId]:
+        """The cached everyone-but-sender recipient list."""
+        recipients = self._fanouts[sender]
+        if recipients is None:
+            recipients = [r for r in range(self._n) if r != sender]
+            self._fanouts[sender] = recipients
+        return recipients
 
     def send(
         self,
@@ -138,23 +151,25 @@ class Network:
         quorums that include the sender's own vote.
 
         The whole fan-out samples **one delay vector** from the policy
-        (``delays_for_multicast``) and computes **one** scheduling
+        (``delays_for_multicast``), computes **one** scheduling
         ``order_key`` digest — and none at all if the adversary drops
-        every copy.  Byzantine ``delay_override`` fan-outs keep the exact
-        per-recipient path (the override, not the policy, sets the delay).
+        every copy — and crosses the scheduler boundary **once per
+        distinct delivery instant** (``schedule_batch``): on the calendar
+        timeline a fixed-delay multicast's n-1 copies cost one bucket
+        lookup total.  Byzantine ``delay_override`` fan-outs keep the
+        exact per-recipient path (the override, not the policy, sets the
+        delay).
         """
         if delay_override is not None:
             order_key = None
-            for recipient in range(self._n):
-                if recipient == sender:
-                    continue
+            for recipient in self._fanout_for(sender):
                 order_key = self._send_one(
                     sender, recipient, payload, delay_override, order_key
                 )
             self._deliver_self(sender, payload, include_self, order_key)
             return
 
-        recipients = [r for r in range(self._n) if r != sender]
+        recipients = self._fanout_for(sender)
         delays = self._policy.delays_for_multicast(
             sender, recipients, payload, self._sim.now
         )
@@ -167,17 +182,34 @@ class Network:
         order_key = None
         self.messages_sent += len(recipients)
         if self._common_offset is not None:
-            # Fast fan-out: with one start offset for everyone, the
-            # delivery time is a pure function of the delay, so runs of
-            # equal delays (every fixed/Gst-stable policy) share one
-            # quantize call.  Delivery rules are the same as
-            # ``_schedule_copy``'s: INF drops, negatives raise, the order
-            # key is only digested once a copy is actually scheduled.
+            # Batched fast fan-out: with one start offset for everyone,
+            # the delivery time is a pure function of the delay, so runs
+            # of equal delays (every fixed/Gst-stable policy) share one
+            # quantize call and are flushed as one ``schedule_batch``
+            # (identical seq assignment to a per-copy loop, so the
+            # schedule is byte-identical).  Delivery rules are the same
+            # as ``_schedule_copy``'s: INF drops, negatives raise, the
+            # order key is only digested once a copy is actually
+            # scheduled.  Accountant/envelope observers, when enabled,
+            # record per copy while the batch is assembled — same order
+            # as the per-copy path.
             offset = self._common_offset
+            accountant = self._accountant
+            envelopes = self._envelopes
+            schedule_batch = self._sim.schedule_batch
+            deliver = self._deliver
             prev_delay: float | None = None
             deliver_time = 0.0
+            batch: list[tuple] = []
             for recipient, delay in zip(recipients, delays):
                 if delay != prev_delay:
+                    if batch:
+                        schedule_batch(
+                            deliver_time, deliver, batch,
+                            order_key=order_key, label="deliver",
+                            transient=True,
+                        )
+                        batch = []
                     if delay == INF:
                         prev_delay, deliver_time = delay, INF
                         continue
@@ -187,12 +219,27 @@ class Network:
                         )
                     prev_delay = delay
                     deliver_time = quantize(max(send_time + delay, offset))
+                    if order_key is None:
+                        order_key = digest(payload)
                 elif deliver_time == INF:
                     continue
-                if order_key is None:
-                    order_key = digest(payload)
-                self._schedule_delivery(
-                    sender, recipient, payload, deliver_time, order_key
+                msg_id = (
+                    accountant.register_send()
+                    if accountant is not None
+                    else None
+                )
+                if envelopes is not None:
+                    envelopes.append(
+                        Envelope(
+                            sender, recipient, payload, send_time,
+                            deliver_time,
+                        )
+                    )
+                batch.append((sender, recipient, payload, msg_id))
+            if batch:
+                schedule_batch(
+                    deliver_time, deliver, batch, order_key=order_key,
+                    label="deliver", transient=True,
                 )
         else:
             for recipient, delay in zip(recipients, delays):

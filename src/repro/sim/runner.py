@@ -67,7 +67,8 @@ class World:
         self.instrumentation.mark_attached()
         self.accountant = self.instrumentation.accountant
         self.sim = Simulator(
-            recycle_events=self.instrumentation.recycle_events
+            recycle_events=self.instrumentation.recycle_events,
+            timeline=self.instrumentation.timeline,
         )
         self.registry = KeyRegistry(n)
         self.network = Network(
@@ -216,6 +217,9 @@ class World:
             final_time=self.sim.now,
             events_processed=self.sim.events_processed,
             events_recycled=self.sim.events_recycled,
+            bucket_appends=self.sim.bucket_appends,
+            heap_pushes_avoided=self.sim.heap_pushes_avoided,
+            timeline=self.sim.timeline,
             quorum_checks=self.instrumentation.quorum_checks,
             equivocations_detected=self.instrumentation.equivocations_detected,
             instrumentation=self.instrumentation.name,
@@ -239,6 +243,13 @@ class RunResult:
     events_processed: int = 0
     #: Arena-mode (perf preset) delivery cells reused; 0 under ``full``.
     events_recycled: int = 0
+    #: Calendar-timeline counters: events appended to time buckets, and
+    #: pushes that skipped a heap sift because their instant's bucket was
+    #: already live.  Both 0 when the run used the ``"heap"`` backend.
+    bucket_appends: int = 0
+    heap_pushes_avoided: int = 0
+    #: Event-queue backend the run used (``"bucket"`` / ``"heap"``).
+    timeline: str = "bucket"
     #: Tally updates across every party's quorum trackers.
     quorum_checks: int = 0
     #: Equivocating signers witnessed by detection-enabled trackers.

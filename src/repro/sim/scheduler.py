@@ -11,6 +11,7 @@ from typing import Callable
 
 from repro.errors import SimulationError
 from repro.sim.events import Event, EventQueue
+from repro.sim.timeline import BucketTimeline
 
 
 class Simulator:
@@ -21,10 +22,27 @@ class Simulator:
     firing.  The world enables it for the ``perf`` instrumentation preset
     only, so under ``full`` instrumentation event identity semantics are
     untouched.
+
+    ``timeline`` selects the queue backend: ``"bucket"`` (the default)
+    is the calendar timeline of :mod:`repro.sim.timeline` — O(1) FIFO
+    appends per quantized instant; ``"heap"`` is the classic binary heap.
+    Both replay byte-identical schedules for the same pushes; the heap
+    stays available as the reference semantics for parity tests.
     """
 
-    def __init__(self, *, recycle_events: bool = False) -> None:
-        self._queue = EventQueue(recycle=recycle_events)
+    def __init__(
+        self, *, recycle_events: bool = False, timeline: str = "bucket"
+    ) -> None:
+        if timeline == "bucket":
+            self._queue: EventQueue = BucketTimeline(recycle=recycle_events)
+        elif timeline == "heap":
+            self._queue = EventQueue(recycle=recycle_events)
+        else:
+            raise SimulationError(
+                f"unknown timeline backend {timeline!r}; "
+                "expected 'bucket' or 'heap'"
+            )
+        self.timeline = timeline
         self._now = 0.0
         self._running = False
         self._events_processed = 0
@@ -42,6 +60,17 @@ class Simulator:
     def events_recycled(self) -> int:
         """Transient event cells reused from the arena freelist."""
         return self._queue.events_recycled
+
+    @property
+    def bucket_appends(self) -> int:
+        """Events appended to calendar buckets (0 on the heap backend)."""
+        return self._queue.bucket_appends
+
+    @property
+    def heap_pushes_avoided(self) -> int:
+        """Pushes that skipped an O(log n) heap sift because their
+        instant's bucket already existed (0 on the heap backend)."""
+        return self._queue.heap_pushes_avoided
 
     def schedule_at(
         self,
@@ -66,6 +95,33 @@ class Simulator:
         return self._queue.push(
             time, action, priority=priority, order_key=order_key,
             label=label, args=args, transient=transient,
+        )
+
+    def schedule_batch(
+        self,
+        time: float,
+        action: Callable[..., None],
+        args_seq: list[tuple],
+        *,
+        priority: int = 0,
+        order_key: bytes = b"",
+        label: str = "",
+        transient: bool = False,
+    ) -> int:
+        """Schedule ``action(*args)`` at ``time`` for every tuple in
+        ``args_seq`` in one queue call (one bucket lookup on the calendar
+        backend).  Equivalent to a loop of :meth:`schedule_at` — same
+        sequence numbers, same firing order — but returns no handles, so
+        it is for fire-and-forget work (message fan-outs); returns the
+        number of events scheduled.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time} before now={self._now}"
+            )
+        return self._queue.push_batch(
+            time, action, args_seq, priority=priority, order_key=order_key,
+            label=label, transient=transient,
         )
 
     def schedule_after(

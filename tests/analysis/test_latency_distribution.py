@@ -54,3 +54,19 @@ class TestSweepLatencyDistribution:
         a = sweep_latency_distribution(engine=SweepEngine(base_seed=0), **kwargs)
         b = sweep_latency_distribution(engine=SweepEngine(base_seed=1), **kwargs)
         assert a != b
+
+    def test_protocol_triples_cover_second_family(self):
+        rows = sweep_latency_distribution(
+            grid=[(4, 1), ("psync_vbb_5f1", 7, 1)], samples=4, delta=1.0
+        )
+        assert [(r["protocol"], r["n"]) for r in rows] == [
+            ("brb_2round", 4), ("psync_vbb_5f1", 7),
+        ]
+        for row in rows:
+            assert row["min"] <= row["p50"] <= row["p99"] <= row["max"]
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_latency_distribution(
+                grid=[("nope", 4, 1)], samples=2, delta=1.0
+            )
