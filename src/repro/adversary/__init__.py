@@ -2,10 +2,14 @@
 from repro.adversary.behaviors import (
     ByzantineBehavior,
     CrashBehavior,
+    EquivocatingVoterBehavior,
     FilteredHonestBehavior,
     ScriptStep,
     ScriptedBehavior,
     SplitBrainBehavior,
+    crash_and_equivocate,
+    crash_at,
+    equivocate_votes,
     fixed_delay_toward,
     pass_all,
     silent_toward,
@@ -15,10 +19,14 @@ from repro.adversary.broadcaster import equivocating_broadcaster
 __all__ = [
     "ByzantineBehavior",
     "CrashBehavior",
+    "EquivocatingVoterBehavior",
     "FilteredHonestBehavior",
     "ScriptStep",
     "ScriptedBehavior",
     "SplitBrainBehavior",
+    "crash_and_equivocate",
+    "crash_at",
+    "equivocate_votes",
     "equivocating_broadcaster",
     "fixed_delay_toward",
     "pass_all",

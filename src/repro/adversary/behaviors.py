@@ -62,7 +62,101 @@ class ByzantineBehavior(Agent):
 
 
 class CrashBehavior(ByzantineBehavior):
-    """The weakest adversary: the party never sends anything."""
+    """Crash-at-time / recover-at-time, backed by the fault engine.
+
+    The default construction — ``CrashBehavior(world, pid)`` — is the
+    classic weakest adversary: crashed from the start, never sends
+    anything (every pre-existing use keeps exactly that semantics).
+    The keyword extensions make the crash *timed*:
+
+    * ``at`` / ``recover`` — the party is down during ``[at, recover)``
+      (a :class:`~repro.sim.faults.CrashWindow`, the same schedule
+      primitive the network-level injector compiles);
+    * ``party_factory`` — when given, the party behaves *honestly while
+      up*: an inner protocol instance runs behind the crash gate, its
+      sends suppressed and its deliveries discarded inside the window.
+      A party whose window covers its start offset starts late, at its
+      first recovery instant — a rebooted replica joining mid-protocol.
+    """
+
+    BRAIN = "only"
+
+    def __init__(
+        self,
+        world,
+        party_id: PartyId,
+        *,
+        at: float = 0.0,
+        recover: float = INF,
+        party_factory: Callable[[Any, PartyId], Party] | None = None,
+    ):
+        super().__init__(world, party_id)
+        from repro.sim.faults import CrashWindow
+
+        self.window = CrashWindow(party_id).add(at, recover)
+        self._brains: dict[Any, Party] = {}
+        if party_factory is not None:
+            inner_world = _InnerWorld(self, self.BRAIN)
+            self._brains[self.BRAIN] = party_factory(inner_world, party_id)
+
+    def is_down(self, t: float | None = None) -> bool:
+        return self.window.is_down(
+            self.world.sim.now if t is None else t
+        )
+
+    def start(self) -> None:
+        brain = self._brains.get(self.BRAIN)
+        if brain is None:
+            return
+        if not self.is_down():
+            brain.start()
+            return
+        recovery = self.window.next_recovery_after(self.world.sim.now)
+        if recovery is not None:
+            self.world.sim.schedule_at(
+                recovery, brain.start, label=f"crash-recover p{self.id}"
+            )
+
+    def deliver(self, sender: PartyId, payload: Any) -> None:
+        brain = self._brains.get(self.BRAIN)
+        if brain is None or self.is_down():
+            return
+        brain.deliver(sender, payload)
+
+    def _filtered_send(
+        self, brain_key: Any, recipient: PartyId, payload: Any
+    ) -> None:
+        if self.is_down():
+            return
+        self.send_raw(recipient, payload)
+
+    def _self_deliver(self, brain_key: Any, payload: Any) -> None:
+        self.world.sim.schedule_after(
+            0.0,
+            lambda: self.deliver(self.id, payload),
+            label=f"crash self-deliver p{self.id}",
+        )
+
+
+def crash_at(
+    *,
+    at: float,
+    recover: float = INF,
+    party_factory: Callable[[Any, PartyId], Party] | None = None,
+):
+    """Behavior factory: every corrupted party crashes at ``at``.
+
+    Matches :data:`repro.sim.runner.BehaviorFactory`.  With a
+    ``party_factory`` the corrupted parties run the honest protocol
+    until the crash instant (and again after ``recover``, if finite).
+    """
+
+    def build(world, pid: PartyId) -> CrashBehavior:
+        return CrashBehavior(
+            world, pid, at=at, recover=recover, party_factory=party_factory
+        )
+
+    return build
 
 
 class EquivocatingVoterBehavior(ByzantineBehavior):
@@ -140,6 +234,41 @@ def equivocate_votes(
     """
 
     def build(world, pid: PartyId) -> EquivocatingVoterBehavior:
+        return EquivocatingVoterBehavior(
+            world,
+            pid,
+            broadcaster=broadcaster,
+            second_value=second_value,
+            make_votes=make_votes,
+        )
+
+    return build
+
+
+def crash_and_equivocate(
+    *,
+    broadcaster: PartyId,
+    crashers: frozenset[PartyId] = frozenset(),
+    crash_time: float = 0.0,
+    recover: float = INF,
+    second_value: Any = "equivocation",
+    make_votes: "Callable[[Any, Any], list[Any]] | None" = None,
+):
+    """Mixed adversary: ``crashers`` crash, the rest equivocate.
+
+    One behavior factory covering both fault flavors the sweeps mix —
+    corrupted ids in ``crashers`` get a timed :class:`CrashBehavior`
+    (down from ``crash_time``), every other corrupted id double-votes
+    like :func:`equivocate_votes`.  Used by
+    :func:`repro.analysis.sweeps.sweep_equivocating_voters` when its
+    ``crashers`` knob is nonzero.
+    """
+
+    def build(world, pid: PartyId) -> ByzantineBehavior:
+        if pid in crashers:
+            return CrashBehavior(
+                world, pid, at=crash_time, recover=recover
+            )
         return EquivocatingVoterBehavior(
             world,
             pid,
@@ -281,7 +410,9 @@ class _InnerWorld:
         if shared is not None:
             self.shared_memo = shared
 
-    def note_commit(self, party: PartyId) -> None:
+    def note_commit(
+        self, party: PartyId, value: Any = None, time: float | None = None
+    ) -> None:
         """Inner commits are the adversary's business, not the harness's."""
 
 

@@ -1,4 +1,14 @@
-"""Measurement, Table 1 regeneration, and figure sweeps."""
+"""Measurement, Table 1 regeneration, figure sweeps, and chaos testing."""
+from repro.analysis.chaos import (
+    CHAOS_SPECS,
+    ChaosSpec,
+    random_fault_plan,
+    run_chaos,
+    run_chaos_plan,
+    shrink_failing_plan,
+    shrink_plan,
+    sweep_chaos,
+)
 from repro.analysis.engine import SweepEngine, SweepTask, point_seed
 from repro.analysis.latency import (
     LatencyMeasurement,
@@ -18,6 +28,8 @@ from repro.analysis.sweeps import (
 from repro.analysis.table1 import Table1Row, format_table, generate_table1
 
 __all__ = [
+    "CHAOS_SPECS",
+    "ChaosSpec",
     "LatencyMeasurement",
     "SweepEngine",
     "SweepPoint",
@@ -29,7 +41,13 @@ __all__ = [
     "measure_round_good_case",
     "measure_sync_good_case",
     "point_seed",
+    "random_fault_plan",
+    "run_chaos",
+    "run_chaos_plan",
+    "shrink_failing_plan",
+    "shrink_plan",
     "sweep_async_rounds",
+    "sweep_chaos",
     "sweep_dishonest_majority",
     "sweep_fig9_tradeoff",
     "sweep_latency_distribution",

@@ -1,0 +1,477 @@
+"""Chaos sweep: seeded random fault plans, invariant monitors, shrinking.
+
+The paper's claims are *tolerance* claims: every protocol keeps agreement,
+validity, integrity and (deadline-bounded) termination as long as the
+faults stay inside its model's budget.  This module turns that into an
+executable check:
+
+1. :func:`random_fault_plan` draws a deterministic, seeded
+   :class:`~repro.sim.faults.FaultPlan` *within the tolerated bounds* of
+   one protocol spec — at most ``f`` crashes (never the broadcaster),
+   partitions that heal well before the liveness deadline, message loss
+   only out of already-crashed parties, and only fault kinds the spec's
+   timing model actually tolerates (a synchronous protocol is entitled to
+   its ``delta`` bound, so it gets crashes and duplicates but no
+   delay-altering faults);
+2. :func:`sweep_chaos` fans a ``protocols x plans`` grid through
+   :class:`~repro.analysis.engine.SweepEngine` (deterministic at any
+   worker count) with the standard invariant battery attached and asserts
+   zero violations — ``python -m repro chaos --smoke`` is the CI gate;
+3. when a plan *does* break an invariant (e.g. a deliberately over-budget
+   plan in the tests), :func:`shrink_plan` strips it greedily — drop one
+   primitive at a time, keep the removal whenever the violation survives —
+   down to a minimal reproducer.
+
+Every piece is module-level and plain-data-parameterized so grid points
+pickle to engine workers, like every sweep in
+:mod:`repro.analysis.sweeps`.
+"""
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.analysis.engine import SweepEngine, SweepTask
+from repro.errors import InvariantViolation
+from repro.sim.faults import (
+    Crash,
+    DropLink,
+    DuplicateLink,
+    FaultPlan,
+    GstChurn,
+    Partition,
+    ReorderJitter,
+)
+from repro.sim.invariants import standard_monitors
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """One protocol's chaos configuration: sizes, timing, fault bounds."""
+
+    protocol: str
+    n: int
+    f: int
+    #: ``"async"`` / ``"psync"`` / ``"sync"`` — selects the delay policy
+    #: and which fault kinds the model tolerates.
+    timing: str
+    big_delta: float = 1.0
+    #: Max extra per-copy delay the plan may inject (0 disables jitter).
+    #: Kept well under the view timeout for psync so the good case —
+    #: which is what makes validity checkable — survives the chaos.
+    jitter_max: float = 0.0
+    #: Max echo delay for duplicated copies.
+    echo_max: float = 0.0
+    partitions_ok: bool = False
+    churn_ok: bool = False
+    #: Protocol time needed *after* the last fault quiets down; the
+    #: termination deadline is ``plan.quiet_time() + slack``.
+    slack: float = 10.0
+
+
+#: The chaos grid: one spec per protocol family, spanning the paper's
+#: three timing models and four resilience regimes.
+CHAOS_SPECS: dict[str, ChaosSpec] = {
+    spec.protocol: spec
+    for spec in (
+        ChaosSpec(
+            protocol="brb_2round", n=7, f=2, timing="async",
+            jitter_max=2.0, echo_max=1.0,
+            partitions_ok=True, churn_ok=True,
+        ),
+        ChaosSpec(
+            protocol="brb_bracha", n=7, f=2, timing="async",
+            jitter_max=2.0, echo_max=1.0,
+            partitions_ok=True, churn_ok=True,
+        ),
+        ChaosSpec(
+            protocol="psync_vbb_5f1", n=4, f=1, timing="psync",
+            jitter_max=0.15, echo_max=0.2, slack=12.0,
+        ),
+        ChaosSpec(
+            protocol="psync_pbft", n=4, f=1, timing="psync",
+            jitter_max=0.15, echo_max=0.2, slack=12.0,
+        ),
+        ChaosSpec(
+            protocol="psync_fab", n=6, f=1, timing="psync",
+            jitter_max=0.15, echo_max=0.2, slack=12.0,
+        ),
+        ChaosSpec(
+            protocol="bb_2delta", n=7, f=2, timing="sync", slack=40.0,
+        ),
+        ChaosSpec(
+            protocol="dolev_strong", n=5, f=2, timing="sync", slack=40.0,
+        ),
+    )
+}
+
+
+def _protocol_class(name: str):
+    """Resolve a chaos protocol label to its party class (lazy imports)."""
+    if name == "brb_2round":
+        from repro.protocols.brb_2round import Brb2Round
+        return Brb2Round
+    if name == "brb_bracha":
+        from repro.protocols.brb_bracha import BrachaBrb
+        return BrachaBrb
+    if name == "psync_vbb_5f1":
+        from repro.protocols.psync.vbb_5f1 import PsyncVbb5f1
+        return PsyncVbb5f1
+    if name == "psync_pbft":
+        from repro.protocols.psync.pbft import PbftPsync
+        return PbftPsync
+    if name == "psync_fab":
+        from repro.protocols.psync.fab import FabPsync
+        return FabPsync
+    if name == "bb_2delta":
+        from repro.protocols.sync.bb_2delta import Bb2Delta
+        return Bb2Delta
+    if name == "dolev_strong":
+        from repro.protocols.dolev_strong import DolevStrongBb
+        return DolevStrongBb
+    raise ValueError(
+        f"unknown chaos protocol {name!r}; "
+        f"expected one of {sorted(CHAOS_SPECS)}"
+    )
+
+
+# ---------------------------------------------------------------------- #
+# plan generation
+# ---------------------------------------------------------------------- #
+
+
+def random_fault_plan(protocol: str, seed: int) -> FaultPlan:
+    """A seeded random plan inside ``protocol``'s tolerated fault bounds.
+
+    Deterministic in ``(protocol, seed)``.  The broadcaster (party 0) is
+    never crashed; crash count stays ``<= f``; drops only suppress links
+    out of a crashed party (loss the budget already paid for); partitions
+    and churn windows resolve early enough that ``quiet_time() + slack``
+    bounds termination; synchronous specs receive no delay-altering
+    faults at all (the model promises ``delta``, so injecting more would
+    test a claim the paper never makes).
+    """
+    spec = CHAOS_SPECS[protocol]
+    rng = random.Random(seed)
+    n, f = spec.n, spec.f
+
+    crashes: list[Crash] = []
+    crash_count = rng.randint(0, f)
+    crashed = rng.sample(range(1, n), crash_count)
+    for party in crashed:
+        at = round(rng.uniform(0.0, 3.0), 3)
+        if rng.random() < 0.5:
+            crashes.append(Crash(party=party, at=at))  # crash-stop
+        else:
+            recover = at + round(rng.uniform(0.5, 2.0), 3)
+            crashes.append(Crash(party=party, at=at, recover=recover))
+
+    drops: list[DropLink] = []
+    if crashed and rng.random() < 0.5:
+        src = rng.choice(crashed)
+        drops.append(
+            DropLink(
+                src=src,
+                start=0.0,
+                end=round(rng.uniform(1.0, 4.0), 3),
+                prob=round(rng.uniform(0.3, 1.0), 3),
+            )
+        )
+
+    duplicates: list[DuplicateLink] = []
+    if rng.random() < 0.7:
+        duplicates.append(
+            DuplicateLink(
+                src=rng.randrange(n) if rng.random() < 0.5 else None,
+                start=0.0,
+                end=round(rng.uniform(1.0, 5.0), 3),
+                prob=round(rng.uniform(0.3, 1.0), 3),
+                echo_delay=round(rng.uniform(0.0, spec.echo_max), 3),
+            )
+        )
+
+    jitters: list[ReorderJitter] = []
+    if spec.jitter_max > 0 and rng.random() < 0.7:
+        start = round(rng.uniform(0.0, 1.0), 3)
+        jitters.append(
+            ReorderJitter(
+                jitter=round(rng.uniform(0.0, spec.jitter_max), 3),
+                start=start,
+                end=start + round(rng.uniform(0.5, 3.0), 3),
+            )
+        )
+
+    partitions: list[Partition] = []
+    if spec.partitions_ok and rng.random() < 0.5:
+        members = list(range(n))
+        rng.shuffle(members)
+        cut = rng.randint(1, n - 1)
+        start = round(rng.uniform(0.0, 2.0), 3)
+        partitions.append(
+            Partition(
+                groups=(
+                    tuple(sorted(members[:cut])),
+                    tuple(sorted(members[cut:])),
+                ),
+                start=start,
+                end=start + round(rng.uniform(0.5, 2.0), 3),
+                flush_delay=round(rng.uniform(0.0, 1.0), 3),
+            )
+        )
+
+    churns: list[GstChurn] = []
+    if spec.churn_ok and rng.random() < 0.5:
+        a = round(rng.uniform(0.0, 1.5), 3)
+        churns.append(
+            GstChurn(
+                windows=((a, a + round(rng.uniform(0.3, 1.5), 3)),),
+                bound=round(rng.uniform(0.3, 1.0), 3),
+            )
+        )
+    elif spec.timing == "psync" and rng.random() < 0.4:
+        # Mild churn only: the window must resolve long before the view
+        # timeout (4 * Delta) or the good case — and with it checkable
+        # validity — is gone.
+        churns.append(
+            GstChurn(
+                windows=((0.0, round(rng.uniform(0.2, 0.5), 3)),),
+                bound=round(rng.uniform(0.1, 0.3), 3),
+            )
+        )
+
+    plan = FaultPlan(
+        crashes=tuple(crashes),
+        drops=tuple(drops),
+        duplicates=tuple(duplicates),
+        jitters=tuple(jitters),
+        partitions=tuple(partitions),
+        churns=tuple(churns),
+        seed=seed,
+    )
+    deadline = plan.quiet_time() + spec.slack
+    problems = plan.check_tolerated(n=n, f=f, deadline=deadline)
+    if problems:  # pragma: no cover - generator stays in bounds
+        raise AssertionError(
+            f"generator produced an untolerated plan: {problems}"
+        )
+    return plan.validate(n)
+
+
+# ---------------------------------------------------------------------- #
+# execution
+# ---------------------------------------------------------------------- #
+
+
+def chaos_deadline(protocol: str, plan: FaultPlan) -> float:
+    """Termination deadline for ``plan`` under ``protocol``'s spec."""
+    return plan.quiet_time() + CHAOS_SPECS[protocol].slack
+
+
+def run_chaos_plan(
+    protocol: str,
+    plan: FaultPlan,
+    *,
+    instrumentation: str = "perf",
+    input_value: Any = "v",
+) -> dict:
+    """Run one faulted execution with the full monitor battery attached.
+
+    Returns a plain record; ``violation`` is ``None`` on a clean run or
+    the structured context of the first
+    :class:`~repro.errors.InvariantViolation` raised (commit-time
+    monitors fire mid-run; termination fires in ``check_invariants``
+    after the horizon drains).
+    """
+    from repro.sim.delays import FixedDelay, UniformDelay
+    from repro.sim.runner import World
+
+    spec = CHAOS_SPECS[protocol]
+    cls = _protocol_class(protocol)
+    deadline = chaos_deadline(protocol, plan)
+    kwargs: dict[str, Any] = {}
+    if spec.timing == "async":
+        delay_policy = UniformDelay(0.0, 1.0, seed=plan.seed)
+    elif spec.timing == "psync":
+        # Stable-period delays strictly under Delta: the view-1 good case
+        # must survive every tolerated fault, or validity is vacuous.
+        delay_policy = UniformDelay(0.1, 0.8, seed=plan.seed)
+        kwargs["big_delta"] = spec.big_delta
+    else:  # sync: the model's worst tolerated assignment
+        delay_policy = FixedDelay(spec.big_delta)
+        kwargs["big_delta"] = spec.big_delta
+    monitors = standard_monitors(
+        broadcaster=0,
+        expected=input_value,
+        deadline=deadline,
+        protocol=protocol,
+    )
+    world = World(
+        n=spec.n,
+        f=spec.f,
+        delay_policy=delay_policy,
+        instrumentation=instrumentation,
+        fault_plan=plan,
+        monitors=monitors,
+        protocol_name=protocol,
+    )
+    world.populate(cls.factory(broadcaster=0, input_value=input_value, **kwargs))
+    violation: dict | None = None
+    result = None
+    try:
+        result = world.run(until=deadline)
+        world.check_invariants()
+    except InvariantViolation as exc:
+        violation = {
+            "invariant": exc.invariant,
+            "details": exc.details,
+            "protocol": exc.protocol,
+            "party": exc.party,
+            "time": exc.time,
+        }
+        result = world.result()
+    return {
+        "protocol": protocol,
+        "n": spec.n,
+        "f": spec.f,
+        "seed": plan.seed,
+        "plan_size": len(plan),
+        "deadline": deadline,
+        "violation": violation,
+        "faults_injected": result.faults_injected,
+        "messages_dropped": result.messages_dropped,
+        "messages_duplicated": result.messages_duplicated,
+        "messages_held": result.messages_held,
+        "partition_windows": result.partition_windows,
+        "messages_sent": result.messages_sent,
+        "commits": len(result.commits),
+    }
+
+
+def _chaos_point(
+    *, protocol: str, seed: int, instrumentation: str = "perf"
+) -> dict:
+    """One grid point: generate a tolerated plan for ``seed``, run it."""
+    plan = random_fault_plan(protocol, seed)
+    return run_chaos_plan(protocol, plan, instrumentation=instrumentation)
+
+
+def sweep_chaos(
+    *,
+    protocols: list[str] | None = None,
+    plans_per_protocol: int = 8,
+    engine: SweepEngine | None = None,
+    instrumentation: str = "perf",
+) -> list[dict]:
+    """The chaos grid: seeded tolerated plans across the protocol specs.
+
+    Each point draws its plan from a deterministic per-point seed
+    (engine-injected, like every randomized sweep), runs it with the
+    invariant battery attached, and reports the injection counters plus
+    any violation.  A healthy tree returns rows with ``violation=None``
+    everywhere — that is exactly what the CI smoke job asserts.
+    """
+    engine = engine if engine is not None else SweepEngine()
+    names = protocols if protocols is not None else list(CHAOS_SPECS)
+    for name in names:
+        if name not in CHAOS_SPECS:
+            raise ValueError(
+                f"unknown chaos protocol {name!r}; "
+                f"expected one of {sorted(CHAOS_SPECS)}"
+            )
+    tasks = [
+        SweepTask(
+            _chaos_point,
+            dict(protocol=name, instrumentation=instrumentation),
+            key=("chaos", name, index),
+            inject_seed=True,
+        )
+        for name in names
+        for index in range(plans_per_protocol)
+    ]
+    return engine.run(tasks)
+
+
+# ---------------------------------------------------------------------- #
+# shrinking
+# ---------------------------------------------------------------------- #
+
+
+def shrink_plan(
+    plan: FaultPlan, failing: Callable[[FaultPlan], bool]
+) -> FaultPlan:
+    """Greedily shrink ``plan`` to a minimal still-failing reproducer.
+
+    One mutation — remove a single primitive — applied until no single
+    removal keeps ``failing`` true (1-minimality, the classic ddmin
+    fixpoint).  ``failing(plan)`` must be true on entry; deterministic
+    predicates (ours are: seeded runs) make the result deterministic.
+    """
+    if not failing(plan):
+        raise ValueError("shrink_plan needs a failing plan to start from")
+    changed = True
+    while changed:
+        changed = False
+        for primitive in plan.primitives():
+            candidate = plan.without(primitive)
+            if failing(candidate):
+                plan = candidate
+                changed = True
+                break
+    return plan
+
+
+def shrink_failing_plan(
+    protocol: str, plan: FaultPlan, *, instrumentation: str = "perf"
+) -> FaultPlan:
+    """Shrink against the real oracle: does the run still violate?"""
+
+    def still_fails(candidate: FaultPlan) -> bool:
+        record = run_chaos_plan(
+            protocol, candidate, instrumentation=instrumentation
+        )
+        return record["violation"] is not None
+
+    return shrink_plan(plan, still_fails)
+
+
+# ---------------------------------------------------------------------- #
+# CLI entry
+# ---------------------------------------------------------------------- #
+
+
+def run_chaos(
+    *,
+    plans_per_protocol: int = 8,
+    protocols: list[str] | None = None,
+    workers: int = 1,
+    instrumentation: str = "perf",
+    base_seed: int = 0,
+    shrink: bool = True,
+) -> dict:
+    """Run the chaos sweep and summarize (the ``repro chaos`` command).
+
+    Returns ``{"rows": [...], "violations": [...], "plans": N}``; each
+    violation entry carries the shrunk minimal reproducer (as plain
+    primitive reprs) when ``shrink`` is on.
+    """
+    engine = SweepEngine(workers=workers, base_seed=base_seed)
+    rows = sweep_chaos(
+        protocols=protocols,
+        plans_per_protocol=plans_per_protocol,
+        engine=engine,
+        instrumentation=instrumentation,
+    )
+    violations = []
+    for row in rows:
+        if row["violation"] is None:
+            continue
+        entry = dict(row)
+        if shrink:
+            plan = random_fault_plan(row["protocol"], row["seed"])
+            minimal = shrink_failing_plan(
+                row["protocol"], plan, instrumentation=instrumentation
+            )
+            entry["minimal_plan"] = [repr(p) for p in minimal.primitives()]
+        violations.append(entry)
+    return {"rows": rows, "violations": violations, "plans": len(rows)}

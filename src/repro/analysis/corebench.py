@@ -157,6 +157,10 @@ def measure_one(
         "events_recycled": meas.result.events_recycled,
         "bucket_appends": meas.result.bucket_appends,
         "heap_pushes_avoided": meas.result.heap_pushes_avoided,
+        # Fault-engine counters ride along so a benched run that somehow
+        # carries a plan is visible in the tracked rows (0s otherwise).
+        "faults_injected": meas.result.faults_injected,
+        "messages_dropped": meas.result.messages_dropped,
     }
     if profile:
         # One extra rep under cProfile: the top-20 cumulative entries are

@@ -371,20 +371,30 @@ def _equivocating_voters_point(
     delta: float,
     seed: int,
     instrumentation: str = "perf",
+    crashers: int = 0,
 ) -> dict:
-    from repro.adversary.behaviors import equivocate_votes
+    from repro.adversary.behaviors import crash_and_equivocate, equivocate_votes
     from repro.protocols.brb_2round import Brb2Round
     from repro.sim.delays import UniformDelay
     from repro.sim.runner import run_broadcast
 
-    # Corrupt the highest ids so the broadcaster (0) stays honest.
-    byzantine = frozenset(range(n - equivocators, n))
+    # Corrupt the highest ids so the broadcaster (0) stays honest: the
+    # top `crashers` ids crash at time 0, the next `equivocators` ids
+    # double-vote.
+    byzantine = frozenset(range(n - equivocators - crashers, n))
+    if crashers:
+        behavior_factory = crash_and_equivocate(
+            broadcaster=0,
+            crashers=frozenset(range(n - crashers, n)),
+        )
+    else:
+        behavior_factory = equivocate_votes(broadcaster=0)
     result = run_broadcast(
         n=n,
         f=f,
         party_factory=Brb2Round.factory(broadcaster=0, input_value="v"),
         byzantine=byzantine,
-        behavior_factory=equivocate_votes(broadcaster=0),
+        behavior_factory=behavior_factory,
         delay_policy=UniformDelay(0.0, delta, seed=seed),
         instrumentation=instrumentation,
     )
@@ -392,6 +402,7 @@ def _equivocating_voters_point(
         "n": n,
         "f": f,
         "equivocators": equivocators,
+        "crashers": crashers,
         "seed": seed,
         "all_committed": result.all_honest_committed(),
         "agreement": result.agreement_holds(),
@@ -410,6 +421,7 @@ def sweep_equivocating_voters(
     delta: float = 1.0,
     engine: SweepEngine | None = None,
     instrumentation: str = "perf",
+    crashers: int = 0,
 ) -> list[dict]:
     """BRB under the ``equivocate_votes`` adversary, per corruption level.
 
@@ -423,8 +435,20 @@ def sweep_equivocating_voters(
     second vote lands before that party commits and terminates, so the
     count grows with ``k`` up to about ``k * (n - k)``.  Seeded like
     every other sweep: deterministic at any worker count.
+
+    ``crashers`` additionally crashes that many of the *top* corrupted
+    ids at time 0 (total corruption ``k + crashers <= f``) through the
+    mixed :func:`~repro.adversary.behaviors.crash_and_equivocate`
+    factory.  The default ``crashers=0`` keeps the original task keys,
+    so every tracked equivocation number reproduces bit-for-bit.
     """
     engine = _default_engine(engine)
+    # crashers=0 keeps the historical key shape (seed compatibility).
+    def _key(k: int) -> tuple:
+        if crashers == 0:
+            return ("equivocate-votes", n, f, k)
+        return ("equivocate-votes", n, f, k, crashers)
+
     tasks = [
         SweepTask(
             _equivocating_voters_point,
@@ -434,8 +458,9 @@ def sweep_equivocating_voters(
                 equivocators=k,
                 delta=delta,
                 instrumentation=instrumentation,
+                crashers=crashers,
             ),
-            key=("equivocate-votes", n, f, k),
+            key=_key(k),
             inject_seed=True,
         )
         for k in equivocator_counts

@@ -10,7 +10,10 @@ Commands:
 * ``ablation`` — run the equivocation-clause ablation;
 * ``bench`` — run the core perf grid (wall times, digest/intern counters,
   latency percentiles); ``--output`` also writes/merges a
-  ``BENCH_core.json``-style document.
+  ``BENCH_core.json``-style document;
+* ``chaos`` — run seeded random fault plans (within each protocol's
+  tolerated bounds) across the chaos grid with invariant monitors
+  attached; failing plans are shrunk to minimal reproducers.
 """
 from __future__ import annotations
 
@@ -114,6 +117,44 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.analysis.chaos import CHAOS_SPECS, run_chaos
+
+    plans = 8 if args.smoke else args.plans
+    protocols = args.protocols.split(",") if args.protocols else None
+    summary = run_chaos(
+        plans_per_protocol=plans,
+        protocols=protocols,
+        workers=args.workers,
+        instrumentation=args.instrumentation,
+        base_seed=args.base_seed,
+    )
+    by_protocol: dict[str, int] = {}
+    injected = 0
+    for row in summary["rows"]:
+        by_protocol[row["protocol"]] = by_protocol.get(row["protocol"], 0) + 1
+        injected += row["faults_injected"]
+    names = protocols if protocols else sorted(CHAOS_SPECS)
+    print(
+        f"chaos: {summary['plans']} fault plans across "
+        f"{len(by_protocol)} protocols ({', '.join(names)})"
+    )
+    print(f"faults injected: {injected}")
+    if not summary["violations"]:
+        print("invariant violations: 0")
+        return 0
+    print(f"invariant violations: {len(summary['violations'])}")
+    for entry in summary["violations"]:
+        v = entry["violation"]
+        print(
+            f"  {entry['protocol']} seed={entry['seed']}: "
+            f"[{v['invariant']}] {v['details']}"
+        )
+        for line in entry.get("minimal_plan", []):
+            print(f"    minimal: {line}")
+    return 1
+
+
 def _cmd_ablation(args: argparse.Namespace) -> int:
     from repro.analysis.ablation import run_equivocation_clause_ablation
 
@@ -204,6 +245,38 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("ablation", help="equivocation-clause ablation")
     p.set_defaults(fn=_cmd_ablation)
+
+    p = sub.add_parser(
+        "chaos",
+        help="seeded random fault plans + invariant monitors + shrinking",
+    )
+    p.add_argument(
+        "--smoke", action="store_true",
+        help="the CI gate: 8 plans per protocol (56 total), <60s",
+    )
+    p.add_argument(
+        "--plans", type=int, default=16,
+        help="fault plans per protocol (ignored with --smoke)",
+    )
+    p.add_argument(
+        "--protocols", default=None,
+        help="comma-separated protocol subset (default: the whole grid)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the plan grid (1 = in-process)",
+    )
+    p.add_argument(
+        "--base-seed", dest="base_seed", type=int, default=0,
+        help="base seed the per-plan seeds derive from",
+    )
+    p.add_argument(
+        "--instrumentation",
+        choices=["full", "rounds", "perf"],
+        default="perf",
+        help="observability preset for each faulted run",
+    )
+    p.set_defaults(fn=_cmd_chaos)
 
     return parser
 

@@ -32,6 +32,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro.errors import SimulationError
+
 #: Compaction triggers only past this many cancelled entries (and only when
 #: they outnumber live ones), so small queues never pay the rebuild.
 _COMPACT_MIN_CANCELLED = 64
@@ -224,7 +226,14 @@ class EventQueue:
         heading for recycling anyway, and skipping them here used to leak
         them from the arena — cancellation-heavy adversary runs would
         slowly regress to plain allocation.
+
+        Idempotent on already-released cells: a stale duplicate
+        reference surfacing from the backend structure must not
+        decrement the cancelled count a second time or re-release the
+        cell (which :meth:`release` would reject).
         """
+        if event.action is _released:
+            return
         self._cancelled -= 1
         if event.transient and self._recycle:
             event.queue = None
@@ -236,7 +245,18 @@ class EventQueue:
         Only the scheduler calls this, after ``event.action`` has run.
         The callback references are dropped so the freelist never pins
         message payloads beyond the delivery that carried them.
+
+        Releasing the same cell twice would enqueue it on the freelist
+        twice, so two future deliveries would share one cell — the
+        second reuse silently rewrites the first's schedule.  That
+        corruption is unlocalizable after the fact, so the double
+        release itself is the error (both backends share this guard).
         """
+        if event.action is _released:
+            raise SimulationError(
+                f"event cell released twice (label={event.label!r}); "
+                "a transient cell must be released exactly once"
+            )
         event.action = _released
         event.args = ()
         event.cancelled = False

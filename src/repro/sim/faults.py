@@ -1,0 +1,578 @@
+"""Deterministic, seeded fault injection for simulated executions.
+
+The paper's good-case claims are only meaningful against its failure
+model — up to ``f`` Byzantine/crashed parties, arbitrary pre-GST
+asynchrony, bounded post-GST delivery.  This module is the substrate that
+lets a run *stress* those claims instead of merely measuring the good
+case: a declarative :class:`FaultPlan` of timed primitives, compiled into
+a :class:`FaultInjector` that the :class:`~repro.sim.network.Network`
+consults at its two seams —
+
+* the **send/schedule seam** (``multicast``/``_schedule_copy``): per
+  scheduled copy the injector may drop it, duplicate it, jitter it,
+  hold it across a partition window, or stretch it through a GST-churn
+  asynchrony window;
+* the **delivery seam** (``_deliver``): a copy arriving while its
+  recipient is inside a crash window is discarded.
+
+Everything is deterministic given the plan's ``seed``: the injector owns
+one ``random.Random`` consumed in scheduling order, which both timeline
+backends replay identically — so the same seed yields the *same*
+post-heal flush schedule on the heap and the bucket calendar
+(``tests/sim/test_faults.py`` pins this down).
+
+With no plan attached the injector simply does not exist (``None`` in the
+network), so the no-fault hot path is byte-identical to a build without
+this module.
+
+Primitives
+----------
+
+==================  =====================================================
+:class:`Crash`      party takes no steps during ``[at, recover)`` — its
+                    sends are suppressed and deliveries to it discarded
+:class:`DropLink`   per-copy Bernoulli drop on matching links in a window
+:class:`DuplicateLink`  matching copies are delivered twice (the echo
+                    arrives ``echo_delay`` later, same instant allowed)
+:class:`ReorderJitter`  bounded extra delay ``U[0, jitter]`` per copy —
+                    delivery order scrambles, but boundedly
+:class:`Partition`  messages crossing the group boundary while the
+                    window is open are *held* and flushed within
+                    ``flush_delay`` after the heal (never lost)
+:class:`GstChurn`   repeated asynchrony windows layered over whatever
+                    :class:`~repro.sim.delays.DelayPolicy` the world
+                    uses: a copy sent inside a window is delayed
+                    adversarially but arrives within ``bound`` of the
+                    window's end — the GST guarantee, repeated
+==================  =====================================================
+"""
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.errors import FaultPlanError
+from repro.types import INF, PartyId
+
+#: The union of plan primitives (kept informal: plain frozen dataclasses).
+FaultPrimitive = object
+
+
+def _require(condition: bool, message: str, primitive: object) -> None:
+    if not condition:
+        raise FaultPlanError(message, primitive=primitive)
+
+
+@dataclass(frozen=True)
+class Crash:
+    """Party ``party`` takes no steps during ``[at, recover)``.
+
+    ``recover=INF`` (the default) is crash-stop.  While down, the
+    network suppresses the party's sends and discards deliveries to it;
+    the chaos harness additionally treats plan-crashed parties as spent
+    fault budget (they are exempt from termination, and count toward
+    the ``<= f`` tolerated-crash bound).
+    """
+
+    party: PartyId
+    at: float
+    recover: float = INF
+
+    def is_down(self, t: float) -> bool:
+        return self.at <= t < self.recover
+
+
+@dataclass(frozen=True)
+class DropLink:
+    """Bernoulli(``prob``) drop of copies on matching links.
+
+    ``src``/``dst`` of ``None`` match any sender/recipient.  A dropped
+    copy is *lost* (this simulator never retransmits), so tolerated
+    plans restrict drops to links out of already-faulty parties — see
+    :meth:`FaultPlan.check_tolerated`.
+    """
+
+    src: PartyId | None = None
+    dst: PartyId | None = None
+    start: float = 0.0
+    end: float = INF
+    prob: float = 1.0
+
+    def matches(self, sender: PartyId, recipient: PartyId, t: float) -> bool:
+        return (
+            (self.src is None or self.src == sender)
+            and (self.dst is None or self.dst == recipient)
+            and self.start <= t < self.end
+        )
+
+
+@dataclass(frozen=True)
+class DuplicateLink:
+    """Matching copies are delivered twice.
+
+    The echo copy arrives ``echo_delay`` after the original (0.0 = the
+    same instant, right after it in sequence order).  Protocols built on
+    signer-deduplicating quorum trackers and first-proposal guards must
+    shrug this off — that is exactly the robustness claim chaos checks.
+    """
+
+    src: PartyId | None = None
+    dst: PartyId | None = None
+    start: float = 0.0
+    end: float = INF
+    prob: float = 1.0
+    echo_delay: float = 0.0
+
+    matches = DropLink.matches
+
+
+@dataclass(frozen=True)
+class ReorderJitter:
+    """Extra delay ``U[0, jitter]`` per matching copy (bounded reorder)."""
+
+    jitter: float
+    src: PartyId | None = None
+    dst: PartyId | None = None
+    start: float = 0.0
+    end: float = INF
+
+    def matches(self, sender: PartyId, recipient: PartyId, t: float) -> bool:
+        return (
+            (self.src is None or self.src == sender)
+            and (self.dst is None or self.dst == recipient)
+            and self.start <= t < self.end
+        )
+
+
+@dataclass(frozen=True)
+class Partition:
+    """Isolate ``groups`` from each other over ``[start, end)``.
+
+    A copy whose delivery would land inside the window while its
+    endpoints sit in different groups (parties missing from every group
+    form an implicit extra group) is *held*: it is rescheduled to
+    ``end + U[0, flush_delay]`` — the heal flushes it within a capped
+    delay, it is never lost.  Deliveries within one group are untouched.
+    """
+
+    groups: tuple[tuple[PartyId, ...], ...]
+    start: float
+    end: float
+    flush_delay: float = 0.0
+
+    def group_of(self, party: PartyId) -> int:
+        for index, group in enumerate(self.groups):
+            if party in group:
+                return index
+        return -1  # implicit "everyone else" group
+
+    def separates(self, a: PartyId, b: PartyId, t: float) -> bool:
+        if not self.start <= t < self.end:
+            return False
+        return self.group_of(a) != self.group_of(b)
+
+
+@dataclass(frozen=True)
+class GstChurn:
+    """Repeated asynchrony windows over any delay policy.
+
+    A copy *sent* inside a window ``[a, b)`` has its delivery pushed to
+    an adversarially chosen instant no later than ``b + bound`` — the
+    partial-synchrony guarantee (everything in flight at GST arrives
+    within ``Delta`` after it), applied once per window.  Layered on top
+    of whatever base :class:`~repro.sim.delays.DelayPolicy` the world
+    runs, including another :class:`~repro.sim.delays.GstDelay`.
+    """
+
+    windows: tuple[tuple[float, float], ...]
+    bound: float = 1.0
+
+    def window_at(self, t: float) -> tuple[float, float] | None:
+        for a, b in self.windows:
+            if a <= t < b:
+                return (a, b)
+        return None
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A declarative, seeded schedule of fault primitives.
+
+    Plans are immutable plain data (picklable: the chaos sweep ships
+    them to engine workers) and *order-insensitive* except for the
+    injector's RNG stream, which consumes draws in scheduling order.
+    ``validate(n)`` rejects malformed plans with
+    :class:`~repro.errors.FaultPlanError`; :meth:`check_tolerated`
+    answers whether the plan stays inside the model's fault budget
+    (``<= f`` crashes, partitions and churn healed before the liveness
+    deadline, drops only out of already-faulty parties).
+    """
+
+    crashes: tuple[Crash, ...] = ()
+    drops: tuple[DropLink, ...] = ()
+    duplicates: tuple[DuplicateLink, ...] = ()
+    jitters: tuple[ReorderJitter, ...] = ()
+    partitions: tuple[Partition, ...] = ()
+    churns: tuple[GstChurn, ...] = ()
+    seed: int = 0
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+
+    def primitives(self) -> list[FaultPrimitive]:
+        """Every primitive, in the canonical field order."""
+        return [
+            *self.crashes, *self.drops, *self.duplicates,
+            *self.jitters, *self.partitions, *self.churns,
+        ]
+
+    def __len__(self) -> int:
+        return (
+            len(self.crashes) + len(self.drops) + len(self.duplicates)
+            + len(self.jitters) + len(self.partitions) + len(self.churns)
+        )
+
+    def is_empty(self) -> bool:
+        return len(self) == 0
+
+    def crashed_parties(self) -> frozenset[PartyId]:
+        return frozenset(c.party for c in self.crashes)
+
+    def without(self, primitive: FaultPrimitive) -> "FaultPlan":
+        """A copy with the first occurrence of ``primitive`` removed.
+
+        The shrinker's one mutation: greedy removal, field by field.
+        """
+
+        def drop_one(items: tuple) -> tuple:
+            out, removed = [], False
+            for item in items:
+                if not removed and item == primitive:
+                    removed = True
+                    continue
+                out.append(item)
+            return tuple(out)
+
+        return FaultPlan(
+            crashes=drop_one(self.crashes),
+            drops=drop_one(self.drops),
+            duplicates=drop_one(self.duplicates),
+            jitters=drop_one(self.jitters),
+            partitions=drop_one(self.partitions),
+            churns=drop_one(self.churns),
+            seed=self.seed,
+        )
+
+    def quiet_time(self) -> float:
+        """Earliest instant after which the plan injects nothing more.
+
+        Crash-stop windows (``recover=INF``) do not push this out — a
+        permanently crashed party is spent budget, not pending churn.
+        """
+        quiet = 0.0
+        for c in self.crashes:
+            quiet = max(quiet, c.recover if c.recover != INF else c.at)
+        for d in self.drops:
+            if d.end != INF:
+                quiet = max(quiet, d.end)
+        for d in self.duplicates:
+            if d.end != INF:
+                quiet = max(quiet, d.end + d.echo_delay)
+        for j in self.jitters:
+            if j.end != INF:
+                quiet = max(quiet, j.end + j.jitter)
+        for p in self.partitions:
+            quiet = max(quiet, p.end + p.flush_delay)
+        for ch in self.churns:
+            for _, b in ch.windows:
+                quiet = max(quiet, b + ch.bound)
+        return quiet
+
+    # ------------------------------------------------------------------ #
+    # validation
+    # ------------------------------------------------------------------ #
+
+    def validate(self, n: int) -> "FaultPlan":
+        """Structural validation against a system of ``n`` parties.
+
+        Raises :class:`~repro.errors.FaultPlanError` on malformed
+        primitives; returns ``self`` so construction can chain.
+        """
+
+        def check_party(p: PartyId | None, prim: FaultPrimitive) -> None:
+            if p is not None:
+                _require(
+                    0 <= p < n, f"party {p} out of range for n={n}", prim
+                )
+
+        def check_window(start: float, end: float, prim) -> None:
+            _require(start >= 0, f"window start {start} < 0", prim)
+            _require(end > start, f"empty window [{start}, {end})", prim)
+
+        for c in self.crashes:
+            check_party(c.party, c)
+            _require(c.at >= 0, f"crash time {c.at} < 0", c)
+            _require(
+                c.recover > c.at,
+                f"recover {c.recover} not after crash {c.at}", c,
+            )
+        for d in self.drops:
+            check_party(d.src, d)
+            check_party(d.dst, d)
+            check_window(d.start, d.end, d)
+            _require(0.0 <= d.prob <= 1.0, f"drop prob {d.prob}", d)
+        for d in self.duplicates:
+            check_party(d.src, d)
+            check_party(d.dst, d)
+            check_window(d.start, d.end, d)
+            _require(0.0 <= d.prob <= 1.0, f"duplicate prob {d.prob}", d)
+            _require(
+                d.echo_delay >= 0, f"echo delay {d.echo_delay} < 0", d
+            )
+        for j in self.jitters:
+            check_party(j.src, j)
+            check_party(j.dst, j)
+            check_window(j.start, j.end, j)
+            _require(j.jitter >= 0, f"jitter {j.jitter} < 0", j)
+        for p in self.partitions:
+            check_window(p.start, p.end, p)
+            _require(p.end != INF, "partition never heals", p)
+            _require(
+                p.flush_delay >= 0, f"flush delay {p.flush_delay} < 0", p
+            )
+            seen: set[PartyId] = set()
+            for group in p.groups:
+                for member in group:
+                    check_party(member, p)
+                    _require(
+                        member not in seen,
+                        f"party {member} in two partition groups", p,
+                    )
+                    seen.add(member)
+        for ch in self.churns:
+            _require(ch.bound > 0, f"churn bound {ch.bound} <= 0", ch)
+            for a, b in ch.windows:
+                check_window(a, b, ch)
+                _require(b != INF, "churn window never closes", ch)
+        return self
+
+    def check_tolerated(
+        self, *, n: int, f: int, deadline: float
+    ) -> list[str]:
+        """Why this plan exceeds the tolerated fault bounds (empty = ok).
+
+        Tolerated means: at most ``f`` distinct crashed parties; every
+        partition healed (flush included) before ``deadline``; every
+        churn window resolved before ``deadline``; message *loss* only
+        on links out of (or into) already-faulty parties — this
+        simulator never retransmits, so an honest-to-honest drop is
+        outside every model's guarantee.
+        """
+        problems: list[str] = []
+        crashed = self.crashed_parties()
+        if len(crashed) > f:
+            problems.append(
+                f"{len(crashed)} crashed parties exceeds budget f={f}"
+            )
+        for p in self.partitions:
+            if p.end + p.flush_delay >= deadline:
+                problems.append(
+                    f"partition heals at {p.end + p.flush_delay}, "
+                    f"after deadline {deadline}"
+                )
+        for ch in self.churns:
+            for _, b in ch.windows:
+                if b + ch.bound >= deadline:
+                    problems.append(
+                        f"churn window resolves at {b + ch.bound}, "
+                        f"after deadline {deadline}"
+                    )
+        for d in self.drops:
+            if d.prob > 0 and not (
+                d.src in crashed or d.dst in crashed
+            ):
+                problems.append(
+                    f"drop on honest link {d.src}->{d.dst} "
+                    "(no retransmission: honest loss is untolerated)"
+                )
+        return problems
+
+
+class CrashWindow:
+    """Mutable helper binding one party's crash/recover schedule.
+
+    Built by behaviors (:class:`~repro.adversary.behaviors.
+    CrashBehavior`) and by the injector's per-party index; answers the
+    one question both ask on the hot path.
+    """
+
+    __slots__ = ("party", "windows")
+
+    def __init__(
+        self, party: PartyId, crashes: Iterable[Crash] = ()
+    ) -> None:
+        self.party = party
+        self.windows: list[tuple[float, float]] = sorted(
+            (c.at, c.recover) for c in crashes if c.party == party
+        )
+
+    def add(self, at: float, recover: float = INF) -> "CrashWindow":
+        self.windows.append((at, recover))
+        self.windows.sort()
+        return self
+
+    def is_down(self, t: float) -> bool:
+        for at, recover in self.windows:
+            if at <= t < recover:
+                return True
+            if at > t:
+                break
+        return False
+
+    def next_recovery_after(self, t: float) -> float | None:
+        """Earliest finite recovery instant at or after ``t``."""
+        best: float | None = None
+        for at, recover in self.windows:
+            if recover != INF and recover >= t:
+                if best is None or recover < best:
+                    best = recover
+        return best
+
+
+@dataclass
+class FaultCounters:
+    """Injection tallies, surfaced on :class:`~repro.sim.runner.RunResult`."""
+
+    faults_injected: int = 0
+    messages_dropped: int = 0
+    messages_duplicated: int = 0
+    messages_held: int = 0
+
+
+class FaultInjector:
+    """A compiled :class:`FaultPlan`: the network's per-copy oracle.
+
+    One instance per world.  All randomness comes from one
+    ``random.Random(plan.seed)`` consumed in scheduling order, which is
+    identical across timeline backends and instrumentation presets — so
+    a seed pins the entire fault schedule.
+    """
+
+    def __init__(self, plan: FaultPlan, *, n: int) -> None:
+        plan.validate(n)
+        self.plan = plan
+        self.n = n
+        self.counters = FaultCounters()
+        self._rng = random.Random(plan.seed)
+        self._crash_windows: dict[PartyId, CrashWindow] = {}
+        for crash in plan.crashes:
+            window = self._crash_windows.get(crash.party)
+            if window is None:
+                window = CrashWindow(crash.party)
+                self._crash_windows[crash.party] = window
+            window.add(crash.at, crash.recover)
+
+    # ------------------------------------------------------------------ #
+    # counters (read by World.result)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def faults_injected(self) -> int:
+        return self.counters.faults_injected
+
+    @property
+    def messages_dropped(self) -> int:
+        return self.counters.messages_dropped
+
+    @property
+    def messages_duplicated(self) -> int:
+        return self.counters.messages_duplicated
+
+    @property
+    def messages_held(self) -> int:
+        return self.counters.messages_held
+
+    @property
+    def partition_windows(self) -> int:
+        return len(self.plan.partitions)
+
+    # ------------------------------------------------------------------ #
+    # crash seam
+    # ------------------------------------------------------------------ #
+
+    def party_down(self, party: PartyId, t: float) -> bool:
+        window = self._crash_windows.get(party)
+        return window is not None and window.is_down(t)
+
+    def block_send(self, sender: PartyId, t: float) -> bool:
+        """Suppress every copy of a send from a crashed sender."""
+        if self.party_down(sender, t):
+            self.counters.faults_injected += 1
+            return True
+        return False
+
+    def block_delivery(self, recipient: PartyId, t: float) -> bool:
+        """Discard a copy arriving while its recipient is down."""
+        if self.party_down(recipient, t):
+            self.counters.faults_injected += 1
+            self.counters.messages_dropped += 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # send/schedule seam
+    # ------------------------------------------------------------------ #
+
+    def route(
+        self,
+        sender: PartyId,
+        recipient: PartyId,
+        send_time: float,
+        deliver_time: float,
+    ) -> list[float]:
+        """Final delivery instants for one already-priced copy.
+
+        ``[]`` drops the copy; one entry is a (possibly retimed) normal
+        delivery; two entries add a duplicate echo.  Applied in a fixed
+        primitive order (drop, churn, jitter, partition hold,
+        duplicate) so the RNG stream is a pure function of the schedule.
+        """
+        counters = self.counters
+        rng = self._rng
+        for drop in self.plan.drops:
+            if drop.matches(sender, recipient, send_time):
+                if drop.prob >= 1.0 or rng.random() < drop.prob:
+                    counters.faults_injected += 1
+                    counters.messages_dropped += 1
+                    return []
+        for churn in self.plan.churns:
+            window = churn.window_at(send_time)
+            if window is not None:
+                # Adversarial stretch: anywhere between the policy's
+                # own delivery time and the post-window GST-style cap.
+                _, end = window
+                latest = end + churn.bound
+                if latest > deliver_time:
+                    counters.faults_injected += 1
+                    deliver_time += rng.random() * (latest - deliver_time)
+        for jitter in self.plan.jitters:
+            if jitter.matches(sender, recipient, send_time):
+                counters.faults_injected += 1
+                deliver_time += rng.random() * jitter.jitter
+        for partition in self.plan.partitions:
+            if partition.separates(sender, recipient, deliver_time):
+                counters.faults_injected += 1
+                counters.messages_held += 1
+                deliver_time = (
+                    partition.end + rng.random() * partition.flush_delay
+                )
+        deliveries = [deliver_time]
+        for dup in self.plan.duplicates:
+            if dup.matches(sender, recipient, send_time):
+                if dup.prob >= 1.0 or rng.random() < dup.prob:
+                    counters.faults_injected += 1
+                    counters.messages_duplicated += 1
+                    deliveries.append(deliver_time + dup.echo_delay)
+        return deliveries

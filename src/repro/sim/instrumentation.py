@@ -87,6 +87,11 @@ class Instrumentation:
         self.commit_order: list[PartyId] = []
         self.recycle_events = recycle_events
         self._quorum_trackers: list[Any] = []
+        #: Runtime invariant monitors (:mod:`repro.sim.invariants`),
+        #: attached by the world; empty for every preset by default, so
+        #: the commit path's dispatch loop is dead-stripped behind one
+        #: truthiness check.
+        self.monitors: list[Any] = []
         self._attached = False
 
     # ------------------------------------------------------------------ #
@@ -115,9 +120,34 @@ class Instrumentation:
             return Transcript(party_id)
         return None
 
-    def note_commit(self, party_id: PartyId) -> None:
-        """Record that ``party_id`` committed (in global commit order)."""
+    def note_commit(
+        self,
+        party_id: PartyId,
+        value: Any = None,
+        time: float | None = None,
+    ) -> None:
+        """Record that ``party_id`` committed (in global commit order).
+
+        ``value``/``time`` feed any attached invariant monitors; plain
+        commit-order tracking ignores them, so pre-monitor callers that
+        pass only the id stay correct.
+        """
         self.commit_order.append(party_id)
+        if self.monitors:
+            for monitor in self.monitors:
+                monitor.on_commit(party_id, value, time)
+
+    def note_commit_conflict(
+        self, party_id: PartyId, old: Any, new: Any, time: float
+    ) -> None:
+        """A party attempted a second commit with a different value."""
+        if self.monitors:
+            for monitor in self.monitors:
+                monitor.on_commit_conflict(party_id, old, new, time)
+
+    def attach_monitor(self, monitor: Any) -> None:
+        """Subscribe a runtime invariant monitor to commit events."""
+        self.monitors.append(monitor)
 
     def register_quorum_tracker(self, tracker: Any) -> None:
         """Enroll a party's quorum tracker for counter aggregation."""

@@ -18,6 +18,12 @@ Observability is routed through the world's
 recorded as atomic steps with the accountant (for Definition 9-10 round
 latency) and in-flight messages are captured as envelopes — both only when
 the bundle enables them; a disabled observer costs the hot path nothing.
+
+Fault injection (:mod:`repro.sim.faults`) hooks the same two seams: the
+schedule side (``_schedule_copy``: drop/duplicate/jitter/hold/churn per
+priced copy) and the delivery side (``_deliver``: discard arrivals into a
+crash window).  A world without a fault plan has no injector at all, so
+the unfaulted path replays byte-identically.
 """
 from __future__ import annotations
 
@@ -32,6 +38,7 @@ from repro.sim.scheduler import Simulator
 from repro.types import INF, PartyId
 
 if TYPE_CHECKING:
+    from repro.sim.faults import FaultInjector
     from repro.sim.instrumentation import Instrumentation
 
 #: Delivery callback: (sender, payload) -> None
@@ -61,9 +68,15 @@ class Network:
         byzantine: frozenset[PartyId] = frozenset(),
         start_offsets: list[float] | None = None,
         instrumentation: "Instrumentation | None" = None,
+        fault_injector: "FaultInjector | None" = None,
     ):
         self._sim = sim
         self._policy = policy
+        # The fault engine's two seams run through this class; with no
+        # plan attached the injector is ``None`` and every faulted
+        # branch below is a single is-None test — the no-fault path
+        # stays byte-identical to a build without fault injection.
+        self._injector = fault_injector
         self._n = n
         self._byzantine = byzantine
         self._start_offsets = start_offsets or [0.0] * n
@@ -160,6 +173,11 @@ class Network:
         exact per-recipient path (the override, not the policy, sets the
         delay).
         """
+        injector = self._injector
+        if injector is not None and injector.block_send(
+            sender, self._sim.now
+        ):
+            return  # sender is inside a crash window: nothing leaves it
         if delay_override is not None:
             order_key = None
             for recipient in self._fanout_for(sender):
@@ -181,7 +199,7 @@ class Network:
         send_time = self._sim.now
         order_key = None
         self.messages_sent += len(recipients)
-        if self._common_offset is not None:
+        if self._common_offset is not None and injector is None:
             # Batched fast fan-out: with one start offset for everyone,
             # the delivery time is a pure function of the delay, so runs
             # of equal delays (every fixed/Gst-stable policy) share one
@@ -281,6 +299,10 @@ class Network:
         if not 0 <= recipient < self._n:
             raise SimulationError(f"recipient {recipient} out of range")
         send_time = self._sim.now
+        if self._injector is not None and self._injector.block_send(
+            sender, send_time
+        ):
+            return order_key
         if delay_override is not None:
             if sender not in self._byzantine and recipient not in self._byzantine:
                 raise SimulationError(
@@ -315,6 +337,23 @@ class Network:
         deliver_time = quantize(
             max(send_time + delay, self._start_offsets[recipient])
         )
+        if self._injector is not None:
+            # Fault seam: the injector may drop, retime, or duplicate
+            # this copy.  The order-key digest stays lazy — a copy the
+            # plan drops is never encoded, like an INF-delayed one.
+            deliveries = self._injector.route(
+                sender, recipient, send_time, deliver_time
+            )
+            if not deliveries:
+                return order_key
+            if order_key is None:
+                order_key = digest(payload)
+            for faulted_time in deliveries:
+                self._schedule_delivery(
+                    sender, recipient, payload,
+                    quantize(faulted_time), order_key,
+                )
+            return order_key
         if order_key is None:
             order_key = digest(payload)
         self._schedule_delivery(
@@ -365,6 +404,10 @@ class Network:
         inbox = self._inboxes[recipient]
         if inbox is None:
             return  # recipient never attached (e.g. crashed from the start)
+        if self._injector is not None and self._injector.block_delivery(
+            recipient, self._sim.now
+        ):
+            return  # delivery seam: recipient is inside a crash window
         self.messages_delivered += 1
         if self._accountant is not None and msg_id is not None:
             self._accountant.begin_delivery_step(recipient, msg_id)

@@ -211,11 +211,22 @@ class Party(Agent):
         """Record this party's (first) commit.  Later commits are ignored.
 
         The harness checks agreement/validity over recorded commits; a
-        party attempting to commit twice with different values would be a
-        protocol bug, surfaced by the harness's consistency check, so we
-        keep the first and record the attempt count.
+        party attempting to commit twice with a *different* value is a
+        protocol bug — we keep the first value and surface the attempt
+        through :meth:`World.note_commit_conflict` so an attached
+        integrity monitor can flag it (pre-monitor behaviour: silently
+        ignored, which is still what happens with no monitors).
         """
         if self.has_committed:
+            if value != self.committed_value:
+                conflict = getattr(self.world, "note_commit_conflict", None)
+                if conflict is not None:
+                    conflict(
+                        self.id,
+                        self.committed_value,
+                        value,
+                        self.world.sim.now,
+                    )
             return
         self.has_committed = True
         self.committed_value = value
@@ -229,7 +240,7 @@ class Party(Agent):
             self.commit_step = step
         if self.transcript is not None:
             self.transcript.record_commit(self.local_time(), value)
-        self.world.note_commit(self.id)
+        self.world.note_commit(self.id, value, self.commit_global_time)
 
     def terminate(self) -> None:
         """Stop reacting to messages and cancel pending timers."""

@@ -23,6 +23,7 @@ from repro.crypto.messages import ContentMemo, intern_key
 from repro.crypto.signatures import KeyRegistry
 from repro.errors import ConfigurationError
 from repro.sim.delays import DelayPolicy, FixedDelay
+from repro.sim.faults import FaultInjector, FaultPlan
 from repro.sim.instrumentation import Instrumentation, resolve_instrumentation
 from repro.sim.network import Network
 from repro.sim.process import Agent, Party
@@ -48,6 +49,9 @@ class World:
         start_offsets: list[float] | None = None,
         record_envelopes: bool = False,
         instrumentation: str | Instrumentation | None = None,
+        fault_plan: FaultPlan | None = None,
+        monitors: list[Any] | None = None,
+        protocol_name: str | None = None,
     ):
         if len(byzantine) > f:
             raise ConfigurationError(
@@ -71,6 +75,15 @@ class World:
             timeline=self.instrumentation.timeline,
         )
         self.registry = KeyRegistry(n)
+        #: Protocol label for invariant-violation context (chaos sets it).
+        self.protocol_name = protocol_name
+        # An attached fault plan compiles into the injector the network
+        # consults per copy; no plan -> no injector -> the unfaulted
+        # fast paths, byte-identical to a faults-free build.
+        self.fault_plan = fault_plan
+        self.fault_injector = (
+            FaultInjector(fault_plan, n=n) if fault_plan is not None else None
+        )
         self.network = Network(
             self.sim,
             delay_policy,
@@ -78,7 +91,11 @@ class World:
             byzantine=byzantine,
             start_offsets=self.start_offsets,
             instrumentation=self.instrumentation,
+            fault_injector=self.fault_injector,
         )
+        for monitor in monitors or ():
+            monitor.bind(self)
+            self.instrumentation.attach_monitor(monitor)
         self.agents: dict[PartyId, Agent] = {}
         self.extras: dict[str, Any] = {}
         self._populated = False
@@ -133,6 +150,22 @@ class World:
     def honest_ids(self) -> list[PartyId]:
         return [p for p in range(self.n) if p not in self.byzantine]
 
+    @property
+    def faulty_ids(self) -> frozenset[PartyId]:
+        """Parties the fault budget spent: Byzantine plus plan crashes.
+
+        This is the exemption set the invariant monitors quantify over —
+        the paper's properties constrain *honest* parties only, and a
+        party the plan crashes is (from the protocol's point of view)
+        exactly a crash-faulty one.
+        """
+        crashed = (
+            self.fault_plan.crashed_parties()
+            if self.fault_plan is not None
+            else frozenset()
+        )
+        return frozenset(self.byzantine) | crashed
+
     def honest_parties(self) -> list[Party]:
         return [
             agent
@@ -183,8 +216,29 @@ class World:
         finally:
             accountant.end_step()
 
-    def note_commit(self, party: PartyId) -> None:
-        self.instrumentation.note_commit(party)
+    def note_commit(
+        self,
+        party: PartyId,
+        value: Any = None,
+        time: float | None = None,
+    ) -> None:
+        self.instrumentation.note_commit(party, value, time)
+
+    def note_commit_conflict(
+        self, party: PartyId, old: Any, new: Any, time: float
+    ) -> None:
+        self.instrumentation.note_commit_conflict(party, old, new, time)
+
+    def check_invariants(self) -> None:
+        """Run every attached monitor's end-of-run check.
+
+        Commit-time properties (agreement, validity, integrity) raise the
+        moment they break; liveness (termination-by-deadline) can only be
+        judged once the schedule drains, so chaos calls this after
+        :meth:`run`.
+        """
+        for monitor in self.instrumentation.monitors:
+            monitor.finalize(self)
 
     def run(
         self, *, until: float | None = None, max_events: int | None = None
@@ -201,6 +255,7 @@ class World:
                     commit_rounds[party.id] = self.accountant.round_of_step(
                         party.commit_step
                     )
+        injector = self.fault_injector
         return RunResult(
             n=self.n,
             f=self.f,
@@ -224,6 +279,13 @@ class World:
             equivocations_detected=self.instrumentation.equivocations_detected,
             instrumentation=self.instrumentation.name,
             rounds_recorded=self.accountant is not None,
+            faults_injected=injector.faults_injected if injector else 0,
+            messages_dropped=injector.messages_dropped if injector else 0,
+            messages_duplicated=(
+                injector.messages_duplicated if injector else 0
+            ),
+            messages_held=injector.messages_held if injector else 0,
+            partition_windows=injector.partition_windows if injector else 0,
         )
 
 
@@ -256,6 +318,12 @@ class RunResult:
     equivocations_detected: int = 0
     instrumentation: str = "full"
     rounds_recorded: bool = True
+    #: Fault-engine counters; all 0 when the run carried no fault plan.
+    faults_injected: int = 0
+    messages_dropped: int = 0
+    messages_duplicated: int = 0
+    messages_held: int = 0
+    partition_windows: int = 0
 
     @property
     def honest_ids(self) -> list[PartyId]:
@@ -311,6 +379,9 @@ def run_broadcast(
     until: float | None = None,
     max_events: int | None = None,
     instrumentation: str | Instrumentation | None = None,
+    fault_plan: FaultPlan | None = None,
+    monitors: list[Any] | None = None,
+    protocol_name: str | None = None,
 ) -> RunResult:
     """Build a world, run it to quiescence (or a horizon), return results."""
     world = World(
@@ -320,6 +391,12 @@ def run_broadcast(
         byzantine=byzantine,
         start_offsets=start_offsets,
         instrumentation=instrumentation,
+        fault_plan=fault_plan,
+        monitors=monitors,
+        protocol_name=protocol_name,
     )
     world.populate(party_factory, behavior_factory)
-    return world.run(until=until, max_events=max_events)
+    result = world.run(until=until, max_events=max_events)
+    if monitors:
+        world.check_invariants()
+    return result

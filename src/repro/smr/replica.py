@@ -94,7 +94,9 @@ class _SlotWorld:
         self._replica = replica
         self._slot = slot
 
-    def note_commit(self, party: PartyId) -> None:
+    def note_commit(
+        self, party: PartyId, value: Any = None, time: float | None = None
+    ) -> None:
         self._replica._on_slot_commit(self._slot)
 
 

@@ -1,0 +1,169 @@
+"""Tests for the chaos sweep: plan generation, execution, shrinking.
+
+The acceptance-critical case lives here: a deliberately over-budget plan
+(f+1 crashes against brb_2round's f=2... plus decoy primitives) must be
+*caught* by the termination monitor and then *shrunk* to the minimal
+reproducer — exactly the crash set, decoys stripped.
+"""
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.chaos import (
+    CHAOS_SPECS,
+    chaos_deadline,
+    random_fault_plan,
+    run_chaos,
+    run_chaos_plan,
+    shrink_failing_plan,
+    shrink_plan,
+    sweep_chaos,
+)
+from repro.analysis.engine import SweepEngine
+from repro.sim.faults import Crash, DuplicateLink, FaultPlan, ReorderJitter
+
+
+class TestRandomFaultPlan:
+    def test_deterministic_in_protocol_and_seed(self):
+        for protocol in CHAOS_SPECS:
+            assert random_fault_plan(protocol, 3) == random_fault_plan(
+                protocol, 3
+            ), protocol
+
+    def test_every_spec_generates_tolerated_plans(self):
+        for protocol, spec in CHAOS_SPECS.items():
+            for seed in range(12):
+                plan = random_fault_plan(protocol, seed)
+                deadline = chaos_deadline(protocol, plan)
+                assert plan.check_tolerated(
+                    n=spec.n, f=spec.f, deadline=deadline
+                ) == [], (protocol, seed)
+                assert 0 not in plan.crashed_parties(), (protocol, seed)
+                assert len(plan.crashed_parties()) <= spec.f
+
+    def test_sync_specs_never_alter_delays(self):
+        """A synchronous protocol is entitled to its delta bound: no
+        jitter, partitions or churn may be generated for it."""
+        for protocol, spec in CHAOS_SPECS.items():
+            if spec.timing != "sync":
+                continue
+            for seed in range(20):
+                plan = random_fault_plan(protocol, seed)
+                assert not plan.jitters, (protocol, seed)
+                assert not plan.partitions, (protocol, seed)
+                assert not plan.churns, (protocol, seed)
+
+
+class TestRunChaosPlan:
+    def test_tolerated_plan_yields_no_violation(self):
+        plan = random_fault_plan("brb_2round", 1)
+        row = run_chaos_plan("brb_2round", plan)
+        assert row["violation"] is None
+        assert row["commits"] >= CHAOS_SPECS["brb_2round"].n - len(
+            plan.crashed_parties()
+        )
+
+    def test_row_reports_injection_counters(self):
+        plan = FaultPlan(
+            duplicates=(DuplicateLink(prob=1.0, end=2.0),), seed=4
+        )
+        row = run_chaos_plan("brb_2round", plan)
+        assert row["violation"] is None
+        assert row["messages_duplicated"] > 0
+        assert row["faults_injected"] >= row["messages_duplicated"]
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(KeyError):
+            run_chaos_plan("no_such_protocol", FaultPlan())
+
+
+class TestSweepChaos:
+    def test_grid_subset_is_clean_and_deterministic(self):
+        kwargs = dict(
+            protocols=["brb_2round", "psync_pbft", "dolev_strong"],
+            plans_per_protocol=2,
+            engine=SweepEngine(base_seed=0),
+        )
+        rows = sweep_chaos(**kwargs)
+        assert len(rows) == 6
+        assert all(row["violation"] is None for row in rows)
+        kwargs["engine"] = SweepEngine(base_seed=0)
+        assert sweep_chaos(**kwargs) == rows
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_chaos(protocols=["nope"], plans_per_protocol=1)
+
+
+#: f+1 = 3 crashes against brb_2round (n=7, f=2) kill the vote quorum —
+#: an over-budget plan the monitors must catch — plus two decoy
+#: primitives the shrinker must strip.
+_OVER_BUDGET = FaultPlan(
+    crashes=(Crash(1, 0.0), Crash(2, 0.0), Crash(3, 0.0)),
+    duplicates=(DuplicateLink(prob=0.5, end=4.0),),
+    jitters=(ReorderJitter(jitter=1.0, end=3.0),),
+    seed=7,
+)
+
+
+class TestShrinking:
+    def test_over_budget_plan_is_caught_and_shrunk_to_minimal(self):
+        """The acceptance case: catch the violation, strip the decoys."""
+        row = run_chaos_plan("brb_2round", _OVER_BUDGET)
+        assert row["violation"] is not None
+        assert row["violation"]["invariant"] == "termination"
+        assert row["violation"]["protocol"] == "brb_2round"
+
+        minimal = shrink_failing_plan("brb_2round", _OVER_BUDGET)
+        assert set(minimal.primitives()) == set(_OVER_BUDGET.crashes)
+        assert not minimal.duplicates and not minimal.jitters
+        # 1-minimality: removing any remaining primitive repairs the run.
+        for primitive in minimal.primitives():
+            repaired = run_chaos_plan(
+                "brb_2round", minimal.without(primitive)
+            )
+            assert repaired["violation"] is None, primitive
+
+    def test_shrink_plan_requires_a_failing_start(self):
+        with pytest.raises(ValueError):
+            shrink_plan(FaultPlan(), lambda plan: False)
+
+    def test_shrink_plan_greedy_fixpoint(self):
+        crash = Crash(1, 0.0)
+        plan = FaultPlan(
+            crashes=(crash,),
+            jitters=(ReorderJitter(jitter=1.0),),
+            duplicates=(DuplicateLink(),),
+        )
+        shrunk = shrink_plan(plan, lambda p: crash in p.primitives())
+        assert shrunk.primitives() == [crash]
+
+
+class TestRunChaos:
+    def test_summary_shape_and_violation_reproducer(self):
+        summary = run_chaos(
+            plans_per_protocol=2,
+            protocols=["brb_2round", "bb_2delta"],
+            shrink=False,
+        )
+        assert summary["plans"] == 4
+        assert summary["violations"] == []
+
+    def test_violation_entry_carries_minimal_plan(self, monkeypatch):
+        """Force the sweep onto the over-budget plan so the CLI path
+        exercises shrinking end to end."""
+        import repro.analysis.chaos as chaos_mod
+
+        def rigged(protocol, seed):
+            return _OVER_BUDGET
+
+        monkeypatch.setattr(chaos_mod, "random_fault_plan", rigged)
+        summary = run_chaos(
+            plans_per_protocol=1, protocols=["brb_2round"], shrink=True
+        )
+        assert summary["plans"] == 1
+        (entry,) = summary["violations"]
+        assert entry["violation"]["invariant"] == "termination"
+        assert sorted(entry["minimal_plan"]) == sorted(
+            repr(c) for c in _OVER_BUDGET.crashes
+        )

@@ -157,3 +157,19 @@ class TestEquivocatingVoterSweep:
             engine=SweepEngine(workers=2),
         )
         assert serial == parallel
+
+    def test_crashers_knob_mixes_fault_flavors(self):
+        """Spend the budget as crashes + equivocations in one run: honest
+        parties still commit, the equivocators are still exposed, and the
+        crashed parties (silent, not double-voting) are not."""
+        from repro.analysis.sweeps import sweep_equivocating_voters
+
+        rows = sweep_equivocating_voters(
+            n=10, f=3, equivocator_counts=[0, 2], crashers=1
+        )
+        assert [r["crashers"] for r in rows] == [1, 1]
+        for row in rows:
+            assert row["all_committed"]
+            assert row["agreement"]
+        assert rows[0]["equivocations_detected"] == 0
+        assert rows[1]["equivocations_detected"] >= 2

@@ -1,0 +1,369 @@
+"""Tests for the deterministic fault-injection engine.
+
+Covers the plan primitives and their validation, the injector's seams
+(send suppression, delivery discard, drop/duplicate/jitter/partition/
+churn routing), the determinism contracts (same plan + seed => identical
+schedules across presets and both timeline backends), the no-fault
+byte-parity guarantee, the GstDelay scalar-vs-batch parity under churned
+send times, and the event-arena double-release guard.
+"""
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FaultPlanError, SimulationError
+from repro.protocols.brb_2round import Brb2Round
+from repro.sim.delays import GstDelay, UniformDelay
+from repro.sim.events import EventQueue
+from repro.sim.faults import (
+    Crash,
+    CrashWindow,
+    DropLink,
+    DuplicateLink,
+    FaultInjector,
+    FaultPlan,
+    GstChurn,
+    Partition,
+    ReorderJitter,
+)
+from repro.sim.instrumentation import Instrumentation
+from repro.sim.runner import World
+from repro.sim.timeline import BucketTimeline
+from repro.types import INF
+
+
+class TestFaultPlan:
+    def test_primitives_and_len(self):
+        plan = FaultPlan(
+            crashes=(Crash(1, 0.5),),
+            duplicates=(DuplicateLink(),),
+            jitters=(ReorderJitter(jitter=1.0),),
+        )
+        assert len(plan) == 3
+        assert not plan.is_empty()
+        assert FaultPlan().is_empty()
+        assert plan.crashed_parties() == frozenset({1})
+
+    def test_without_removes_one_primitive(self):
+        crash = Crash(1, 0.0)
+        plan = FaultPlan(crashes=(crash, Crash(2, 0.0)))
+        smaller = plan.without(crash)
+        assert len(smaller) == 1
+        assert smaller.crashed_parties() == frozenset({2})
+        # Removing a primitive that is not in the plan is a no-op copy.
+        assert len(plan.without(Crash(5, 9.9))) == 2
+
+    def test_quiet_time(self):
+        plan = FaultPlan(
+            crashes=(Crash(1, 1.0, recover=3.0), Crash(2, 5.0)),
+            partitions=(
+                Partition(groups=((0, 1), (2, 3)), start=0.0, end=2.0,
+                          flush_delay=0.5),
+            ),
+            churns=(GstChurn(windows=((0.0, 4.0),), bound=1.5),),
+        )
+        # crash-stop at 5.0 contributes its *crash* instant only; the
+        # churn window resolving at 4.0 + 1.5 dominates.
+        assert plan.quiet_time() == 5.5
+
+    def test_validate_rejects_bad_primitives(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(crashes=(Crash(9, 0.0),)).validate(4)
+        with pytest.raises(FaultPlanError):
+            FaultPlan(crashes=(Crash(1, 2.0, recover=1.0),)).validate(4)
+        with pytest.raises(FaultPlanError):
+            FaultPlan(drops=(DropLink(prob=1.5),)).validate(4)
+        with pytest.raises(FaultPlanError):
+            FaultPlan(
+                partitions=(
+                    Partition(groups=((0,),), start=0.0, end=INF),
+                ),
+            ).validate(4)
+        with pytest.raises(FaultPlanError):
+            FaultPlan(
+                partitions=(
+                    Partition(groups=((0, 1), (1, 2)), start=0.0, end=1.0),
+                ),
+            ).validate(4)
+
+    def test_check_tolerated(self):
+        ok = FaultPlan(crashes=(Crash(1, 0.0),))
+        assert ok.check_tolerated(n=4, f=1, deadline=10.0) == []
+        over = FaultPlan(crashes=(Crash(1, 0.0), Crash(2, 0.0)))
+        assert over.check_tolerated(n=4, f=1, deadline=10.0)
+        late_heal = FaultPlan(
+            partitions=(
+                Partition(groups=((0, 1), (2, 3)), start=0.0, end=20.0),
+            ),
+        )
+        assert late_heal.check_tolerated(n=4, f=1, deadline=10.0)
+        honest_drop = FaultPlan(drops=(DropLink(src=1, prob=0.5),))
+        assert honest_drop.check_tolerated(n=4, f=1, deadline=10.0)
+        # The same drop out of a crashed party is spent budget.
+        faulty_drop = FaultPlan(
+            crashes=(Crash(1, 0.0),), drops=(DropLink(src=1, prob=0.5),)
+        )
+        assert faulty_drop.check_tolerated(n=4, f=1, deadline=10.0) == []
+
+
+class TestCrashWindow:
+    def test_is_down_and_recovery(self):
+        window = CrashWindow(3).add(1.0, 2.0).add(5.0)
+        assert not window.is_down(0.5)
+        assert window.is_down(1.0)
+        assert not window.is_down(2.0)  # half-open [at, recover)
+        assert window.is_down(99.0)  # crash-stop tail
+        assert window.next_recovery_after(0.0) == 2.0
+        assert window.next_recovery_after(3.0) is None
+
+    def test_from_plan_crashes(self):
+        window = CrashWindow(1, [Crash(1, 2.0, 3.0), Crash(2, 0.0)])
+        assert window.windows == [(2.0, 3.0)]  # only party 1's crashes
+
+
+class TestFaultInjector:
+    def test_crash_seam_blocks_sends_and_deliveries(self):
+        injector = FaultInjector(
+            FaultPlan(crashes=(Crash(1, 1.0, recover=2.0),)), n=4
+        )
+        assert not injector.block_send(1, 0.5)
+        assert injector.block_send(1, 1.5)
+        assert injector.block_delivery(1, 1.5)
+        assert not injector.block_delivery(1, 2.0)
+        assert not injector.block_send(2, 1.5)  # other parties unaffected
+        assert injector.faults_injected == 2
+        assert injector.messages_dropped == 1
+
+    def test_certain_drop_loses_the_copy(self):
+        injector = FaultInjector(
+            FaultPlan(drops=(DropLink(src=0, dst=1, prob=1.0),)), n=4
+        )
+        assert injector.route(0, 1, 0.0, 1.0) == []
+        assert injector.route(0, 2, 0.0, 1.0) == [1.0]
+        assert injector.messages_dropped == 1
+
+    def test_duplicate_adds_echo(self):
+        injector = FaultInjector(
+            FaultPlan(duplicates=(DuplicateLink(prob=1.0, echo_delay=0.5),)),
+            n=4,
+        )
+        assert injector.route(0, 1, 0.0, 1.0) == [1.0, 1.5]
+        assert injector.messages_duplicated == 1
+
+    def test_partition_holds_until_heal(self):
+        injector = FaultInjector(
+            FaultPlan(
+                partitions=(
+                    Partition(groups=((0, 1), (2, 3)), start=0.0, end=4.0,
+                              flush_delay=0.0),
+                ),
+            ),
+            n=4,
+        )
+        assert injector.route(0, 2, 0.0, 1.0) == [4.0]  # held to the heal
+        assert injector.route(0, 1, 0.0, 1.0) == [1.0]  # same group: untouched
+        assert injector.messages_held == 1
+
+    def test_routing_is_deterministic_per_seed(self):
+        plan = FaultPlan(
+            drops=(DropLink(src=1, prob=0.5),),
+            crashes=(Crash(1, 0.0),),
+            jitters=(ReorderJitter(jitter=1.0),),
+            seed=77,
+        )
+        trace_a = [
+            FaultInjector(plan, n=4).route(0, r, 0.1, 1.0) for r in (1, 2, 3)
+        ]
+        injector = FaultInjector(plan, n=4)
+        trace_b = [injector.route(0, r, 0.1, 1.0) for r in (1, 2, 3)]
+        # Per-injector streams restart from the plan seed; a fresh
+        # injector consuming the same schedule replays the same routes.
+        fresh = [
+            FaultInjector(plan, n=4).route(0, r, 0.1, 1.0) for r in (1, 2, 3)
+        ]
+        assert trace_a == fresh
+        assert trace_b[0] == trace_a[0]
+
+    def test_validate_runs_at_compile_time(self):
+        with pytest.raises(FaultPlanError):
+            FaultInjector(FaultPlan(crashes=(Crash(9, 0.0),)), n=4)
+
+
+def _run_brb(
+    *, plan=None, monitors=None, preset="full", timeline="bucket", seed=3,
+    n=7, f=2,
+):
+    presets = {
+        "full": dict(rounds=True, transcripts=True),
+        "rounds": dict(rounds=True, transcripts=False),
+        "perf": dict(rounds=False, transcripts=False, recycle_events=True),
+    }
+    world = World(
+        n=n,
+        f=f,
+        delay_policy=UniformDelay(0.0, 1.0, seed=seed),
+        instrumentation=Instrumentation(
+            name=preset, timeline=timeline, **presets[preset]
+        ),
+        fault_plan=plan,
+        monitors=monitors,
+    )
+    world.populate(Brb2Round.factory(broadcaster=0, input_value="v"))
+    return world.run()
+
+
+def _snapshot(result):
+    return (
+        tuple(sorted(result.commits.items())),
+        tuple(sorted(result.commit_global_times.items())),
+        result.messages_sent,
+        result.final_time,
+        result.events_processed,
+    )
+
+
+class TestWorldIntegration:
+    def test_empty_plan_matches_no_plan_everywhere(self):
+        """The CI faults-off parity claim: an *attached but empty* plan
+        exercises the injector code path yet changes nothing."""
+        for preset in ("full", "rounds", "perf"):
+            for timeline in ("heap", "bucket"):
+                baseline = _snapshot(
+                    _run_brb(preset=preset, timeline=timeline)
+                )
+                empty = _snapshot(
+                    _run_brb(
+                        plan=FaultPlan(), preset=preset, timeline=timeline
+                    )
+                )
+                assert baseline == empty, (preset, timeline)
+
+    def test_crash_within_budget_spares_live_parties(self):
+        plan = FaultPlan(crashes=(Crash(5, 0.0), Crash(6, 0.0)))
+        result = _run_brb(plan=plan)
+        live = set(range(5))
+        assert live <= set(result.commits)
+        assert set(result.commits.values()) == {"v"}
+        assert 5 not in result.commits and 6 not in result.commits
+        assert result.faults_injected > 0
+
+    def test_fault_counters_reach_run_result(self):
+        plan = FaultPlan(
+            duplicates=(DuplicateLink(prob=1.0, end=2.0),),
+            crashes=(Crash(6, 0.0),),
+        )
+        result = _run_brb(plan=plan)
+        assert result.messages_duplicated > 0
+        assert result.messages_dropped > 0  # deliveries into the crash
+        assert result.faults_injected >= (
+            result.messages_duplicated + result.messages_dropped
+        )
+
+    def test_plan_outcome_identical_across_presets(self):
+        plan = FaultPlan(
+            crashes=(Crash(6, 0.5, recover=2.0),),
+            jitters=(ReorderJitter(jitter=0.7, end=3.0),),
+            duplicates=(DuplicateLink(prob=0.4, end=2.0),),
+            seed=11,
+        )
+        outcomes = {
+            preset: (
+                _run_brb(plan=plan, preset=preset).commits,
+                _run_brb(plan=plan, preset=preset).commit_global_times,
+            )
+            for preset in ("full", "rounds", "perf")
+        }
+        assert outcomes["full"] == outcomes["rounds"] == outcomes["perf"]
+
+    def test_partition_heal_flush_deterministic_across_backends(self):
+        """Same seed => identical post-heal flush schedule on the heap
+        and the bucket calendar (the injector RNG is consumed in
+        scheduling order, which both backends share)."""
+        plan = FaultPlan(
+            partitions=(
+                Partition(
+                    groups=((0, 1, 2, 3), (4, 5, 6)),
+                    start=0.2,
+                    end=2.5,
+                    flush_delay=0.8,
+                ),
+            ),
+            jitters=(ReorderJitter(jitter=0.4, end=1.5),),
+            seed=29,
+        )
+        snapshots = [
+            _snapshot(_run_brb(plan=plan, timeline=timeline, preset=preset))
+            for preset in ("full", "perf")
+            for timeline in ("heap", "bucket")
+        ]
+        assert len(set(snapshots)) == 1
+        result = _run_brb(plan=plan)
+        assert result.messages_held > 0
+        assert result.partition_windows == 1
+        assert set(result.commits) == set(range(7))
+
+
+class TestGstDelayBatchParity:
+    def test_scalar_vs_batch_identical_straddling_gst(self):
+        """Churned send times straddling GST: the batch fan-out must
+        consume the wrapped policy's stream exactly as n scalar calls
+        would, and apply the GST cap per copy."""
+        recipients = list(range(1, 8))
+        # Send instants generated by a churn primitive's window edges:
+        # before, exactly at, and after GST.
+        churn = GstChurn(windows=((3.0, 5.0),), bound=1.0)
+        sends = [2.9, 3.0, 4.999, 5.0, 5.1]
+        assert churn.window_at(3.0) and churn.window_at(4.999)
+        assert churn.window_at(5.0) is None
+
+        def make_policy():
+            return GstDelay(
+                gst=5.0,
+                big_delta=1.0,
+                pre_gst=UniformDelay(0.0, 9.0, seed=123),
+            )
+
+        scalar_policy = make_policy()
+        batch_policy = make_policy()
+        for send_time in sends:
+            scalar = [
+                scalar_policy.delay(0, r, ("m", send_time), send_time)
+                for r in recipients
+            ]
+            batch = batch_policy.delays_for_multicast(
+                0, recipients, ("m", send_time), send_time
+            )
+            assert scalar == batch, send_time
+            for value in batch:
+                latest = max(send_time, 5.0) + 1.0
+                assert send_time + value <= latest + 1e-9
+
+
+class TestDoubleReleaseGuard:
+    @pytest.mark.parametrize("queue_cls", [EventQueue, BucketTimeline])
+    def test_release_twice_raises(self, queue_cls):
+        queue = queue_cls(recycle=True)
+        cell = queue.push(1.0, lambda: None, transient=True)
+        assert queue.pop() is cell
+        queue.release(cell)
+        with pytest.raises(SimulationError):
+            queue.release(cell)
+        # The freelist holds exactly one copy: the next two transient
+        # pushes may reuse the cell once, never twice concurrently.
+        first = queue.push(2.0, lambda: None, transient=True)
+        second = queue.push(2.0, lambda: None, transient=True)
+        assert first is cell
+        assert second is not cell
+
+    @pytest.mark.parametrize("queue_cls", [EventQueue, BucketTimeline])
+    def test_discard_cancelled_idempotent_on_released_cells(self, queue_cls):
+        queue = queue_cls(recycle=True)
+        cell = queue.push(1.0, lambda: None, transient=True)
+        assert queue.pop() is cell
+        queue.release(cell)
+        # A stale duplicate reference surfacing post-release must not
+        # corrupt the cancelled count or re-release the cell.
+        before = queue._cancelled
+        queue._discard_cancelled(cell)
+        assert queue._cancelled == before
+        assert len(queue._free) == 1

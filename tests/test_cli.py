@@ -27,6 +27,15 @@ class TestParser:
         assert args.reps is None
         assert args.output is None
 
+    def test_chaos_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.smoke is False
+        assert args.plans == 16
+        assert args.protocols is None
+        assert args.workers == 1
+        assert args.instrumentation == "perf"
+        assert args.base_seed == 0
+
 
 class TestCommands:
     def test_table1_exit_code_zero(self, capsys):
@@ -62,3 +71,30 @@ class TestCommands:
         assert "interned=" in out
         assert "plans=" in out
         assert "p99=" in out  # latency-distribution row
+
+    def test_chaos_clean_subset_exits_zero(self, capsys):
+        assert main(
+            ["chaos", "--plans", "2",
+             "--protocols", "brb_2round,dolev_strong"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "4 fault plans across 2 protocols" in out
+        assert "invariant violations: 0" in out
+
+    def test_chaos_violation_exits_one(self, capsys, monkeypatch):
+        import repro.analysis.chaos as chaos_mod
+        from repro.sim.faults import Crash, FaultPlan
+
+        over_budget = FaultPlan(
+            crashes=(Crash(1, 0.0), Crash(2, 0.0), Crash(3, 0.0)), seed=7
+        )
+        monkeypatch.setattr(
+            chaos_mod, "random_fault_plan", lambda protocol, seed: over_budget
+        )
+        assert main(
+            ["chaos", "--plans", "1", "--protocols", "brb_2round"]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "invariant violations: 1" in out
+        assert "[termination]" in out
+        assert "minimal: Crash(" in out
