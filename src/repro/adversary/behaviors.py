@@ -280,6 +280,93 @@ def crash_and_equivocate(
     return build
 
 
+class ForgedVoteQuorumBehavior(ByzantineBehavior):
+    """Multicasts a structurally perfect vote quorum with forged signatures.
+
+    On the broadcaster's proposal, this behavior fabricates a full
+    ``n - f`` vote quorum for ``forged_value`` — every vote claims an
+    *honest* signer and carries the correct payload digest, but none of
+    the signatures was ever issued, so each fails verification.  The
+    batch is the sharpest probe of the deferred-verify vote path: it is
+    uniform and crosses the threshold at the staging step, so a receiver
+    that committed the staged tally *before* paying for signatures would
+    commit the forged value and violate agreement.  Correct receivers
+    batch-verify at the crossing, reject, and fall back to the scalar
+    loop, which drops every forged vote — leaving their tallies exactly
+    as the eager path would.
+
+    ``mixed=True`` sends a two-value batch instead: the uniform-run gate
+    rejects it outright and the scalar loop does all the work, pinning
+    that both rejection routes end in the same state.
+    """
+
+    def __init__(
+        self,
+        world,
+        party_id: PartyId,
+        *,
+        broadcaster: PartyId,
+        forged_value: Any = "forged",
+        mixed: bool = False,
+    ):
+        super().__init__(world, party_id)
+        self.broadcaster = broadcaster
+        self.forged_value = forged_value
+        self.mixed = mixed
+        self._sent = False
+
+    def _forged_vote(self, claimed_signer: PartyId, value: Any):
+        from repro.crypto.messages import digest
+        from repro.crypto.signatures import Signature, SignedPayload
+        from repro.protocols.brb_2round import VOTE
+
+        body = (VOTE, value)
+        return SignedPayload(body, Signature(claimed_signer, digest(body)))
+
+    def deliver(self, sender: PartyId, payload: Any) -> None:
+        from repro.protocols.brb_2round import PROPOSE, VOTE_QUORUM
+
+        if self._sent or sender != self.broadcaster:
+            return
+        if not (
+            isinstance(payload, tuple)
+            and len(payload) == 2
+            and payload[0] == PROPOSE
+        ):
+            return
+        self._sent = True
+        world = self.world
+        quorum = world.n - world.f
+        honest = [p for p in range(world.n) if p not in world.byzantine]
+        votes = [
+            self._forged_vote(p, self.forged_value)
+            for p in honest[:quorum]
+        ]
+        if self.mixed:
+            votes[-1] = self._forged_vote(honest[quorum - 1], "decoy")
+        self.multicast_raw((VOTE_QUORUM, tuple(votes)))
+
+
+def forge_vote_quorum(
+    *,
+    broadcaster: PartyId,
+    forged_value: Any = "forged",
+    mixed: bool = False,
+):
+    """Behavior factory: every corrupted party sends one forged quorum."""
+
+    def build(world, pid: PartyId) -> ForgedVoteQuorumBehavior:
+        return ForgedVoteQuorumBehavior(
+            world,
+            pid,
+            broadcaster=broadcaster,
+            forged_value=forged_value,
+            mixed=mixed,
+        )
+
+    return build
+
+
 @dataclass
 class ScriptStep:
     """One pre-planned send: at global ``time``, ``payload`` to ``recipient``."""

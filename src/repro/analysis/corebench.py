@@ -73,6 +73,9 @@ CONFIGS = [
     ("brb_2round", Brb2Round, dict(n=501, f=166), ["perf"]),
     ("brb_2round", Brb2Round, dict(n=701, f=233), ["perf"]),
     ("brb_2round", Brb2Round, dict(n=1001, f=333), ["perf"]),
+    # Run batching folds a fan-out's equal-delay copies into one event,
+    # so the n=2001 point (4M logical deliveries) is now tractable.
+    ("brb_2round", Brb2Round, dict(n=2001, f=666), ["perf"]),
     ("psync_vbb_5f1", PsyncVbb5f1, dict(n=4, f=1, big_delta=1.0), ["full"]),
     ("psync_vbb_5f1", PsyncVbb5f1, dict(n=16, f=3, big_delta=1.0), ["full"]),
     (
@@ -157,6 +160,12 @@ def measure_one(
         "events_recycled": meas.result.events_recycled,
         "bucket_appends": meas.result.bucket_appends,
         "heap_pushes_avoided": meas.result.heap_pushes_avoided,
+        # Batched-delivery and vectorized-vote counters: copies folded
+        # into run events (and the run-event count), and votes absorbed
+        # through staged add_batch calls.  Per-copy modes report 0s.
+        "deliveries_batched": meas.result.deliveries_batched,
+        "delivery_runs_batched": meas.result.delivery_runs_batched,
+        "votes_batched": meas.result.votes_batched,
         # Fault-engine counters ride along so a benched run that somehow
         # carries a plan is visible in the tracked rows (0s otherwise).
         "faults_injected": meas.result.faults_injected,
@@ -196,6 +205,7 @@ def _print_row(row: dict) -> None:
         f" quorum={row['quorum_checks']}"
         f" recycled={row['events_recycled']}"
         f" avoided={row['heap_pushes_avoided']}"
+        f" batched={row['deliveries_batched']}"
     )
 
 

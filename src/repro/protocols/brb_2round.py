@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.crypto.signatures import SignedPayload
 from repro.protocols.base import BroadcastParty
 from repro.protocols.quorum import commit_quorum
 from repro.types import PartyId, Value, validate_resilience
@@ -26,6 +27,30 @@ VOTE_QUORUM = "vote-quorum"
 
 def _vote_quorum_message(quorum: tuple) -> tuple:
     return (VOTE_QUORUM, quorum)
+
+
+def _uniform_vote_value(votes) -> Value | None:
+    """The single value a well-formed vote run supports, else ``None``.
+
+    The batched vote path only handles runs where every item is a
+    structurally valid ``(VOTE, v)`` signature over one ``v`` (every
+    honest quorum forward is); mixed or malformed runs — only a
+    Byzantine sender produces them — fall back to the scalar loop.
+    """
+    value: Value | None = None
+    for vote in votes:
+        if not isinstance(vote, SignedPayload):
+            return None
+        body = vote.payload
+        if not (
+            isinstance(body, tuple) and len(body) == 2 and body[0] == VOTE
+        ):
+            return None
+        if value is None:
+            value = body[1]
+        elif body[1] != value:
+            return None
+    return value
 
 
 class Brb2Round(BroadcastParty):
@@ -73,8 +98,13 @@ class Brb2Round(BroadcastParty):
         elif kind == VOTE:
             self._on_vote(payload[1])
         elif kind == VOTE_QUORUM:
-            for vote in payload[1]:
-                self._on_vote(vote)
+            votes = payload[1]
+            value = _uniform_vote_value(votes)
+            if value is None or not self.on_votes_batch(
+                value, [vote.signer for vote in votes], votes
+            ):
+                for vote in votes:
+                    self._on_vote(vote)
 
     def _on_proposal(self, value: Value) -> None:
         # Step 2: Vote for the first proposal only.
@@ -97,9 +127,40 @@ class Brb2Round(BroadcastParty):
         # quorum tuple is built at most once — a late vote after the
         # commit can never rebuild or re-multicast it.
         if count == self.quorum and not self.has_committed:
-            self.multicast(
-                self._votes.quorum_payload(value, _vote_quorum_message),
-                include_self=False,
-            )
-            self.commit(value)
-            self.terminate()
+            self._commit_on_quorum(value)
+
+    def on_votes_batch(self, value, signers, payloads) -> bool:
+        """Vectorized vote path for a forwarded ``VOTE_QUORUM``.
+
+        Absorbs the whole same-value run in one staged ``add_batch``
+        with signature verification deferred to the threshold crossing;
+        any batch that does not cross (or fails verification) is left
+        to the caller's scalar loop, which replays the eager semantics
+        exactly.
+        """
+        if self.has_committed:
+            return False
+        mask = self.absorb_vote_batch(
+            self._votes, value, signers, payloads, threshold=self.quorum
+        )
+        if mask is None:
+            return False
+        self._commit_on_quorum(value, mask)
+        return True
+
+    def _commit_on_quorum(self, value: Value, mask: int | None = None) -> None:
+        """The crossing action: forward the quorum, commit, terminate.
+
+        ``mask`` pins the supporter set the forwarded message is built
+        from; the scalar path omits it (its current mask *is* the
+        crossing mask), the batch path passes the staged crossing mask
+        so an oversize batch still forwards exactly ``n - f`` votes.
+        """
+        self.multicast(
+            self._votes.quorum_payload(
+                value, _vote_quorum_message, mask=mask
+            ),
+            include_self=False,
+        )
+        self.commit(value)
+        self.terminate()

@@ -9,6 +9,13 @@ the paper's Section 7 highlights for the unauthenticated setting.
     (3) Ready.  On (n+f)/2 + 1 echoes for v, or f+1 readies for v,
         send <ready, v> to all (once).
     (4) Deliver.  On 2f+1 readies for v, commit v and terminate.
+
+This protocol stays off the vectorized vote path (``on_votes_batch``) by
+design: every message carries exactly one unauthenticated echo/ready —
+there is nothing to batch-verify and no multi-vote message whose run
+could be absorbed in one tally.  Batched *delivery* still applies (a
+multicast's equal-delay copies fold into one run event); only the vote
+tally is inherently scalar here.
 """
 from __future__ import annotations
 

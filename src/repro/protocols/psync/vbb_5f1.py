@@ -150,8 +150,13 @@ class PsyncVbb5f1(BroadcastParty):
         if kind == VOTE:
             self._on_vote_entry(payload[1])
         elif kind == VOTES:
-            for entry in payload[2]:
-                self._on_vote_entry(entry)
+            entries = payload[2]
+            key = self._uniform_entry_key(entries)
+            if key is None or not self.on_votes_batch(
+                key, [entry.signer for entry in entries], entries
+            ):
+                for entry in entries:
+                    self._on_vote_entry(entry)
         elif kind == TIMEOUT:
             self._on_timeout_entry(payload[1], payload[2])
         elif kind == TIMEOUTS:
@@ -286,12 +291,65 @@ class PsyncVbb5f1(BroadcastParty):
             self.commit(value)
             self.terminate()
 
+    def _uniform_entry_key(self, entries) -> tuple[int, Value] | None:
+        """The single ``(view, value)`` a well-formed VOTES run supports.
+
+        ``None`` for a mixed or malformed run — only a Byzantine sender
+        produces one; every honest quorum forward countersigns one
+        leader pair.  Outer entry signatures are *not* checked here (the
+        batch path defers them to the quorum crossing); the embedded
+        leader pair is verified once per shared object.
+        """
+        first = None
+        for entry in entries:
+            item = (
+                self._parse_entry_body(entry)
+                if isinstance(entry, SignedPayload)
+                else None
+            )
+            if item is None or (first is not None and item != first):
+                return None
+            first = item
+        return first
+
+    def on_votes_batch(self, key, signers, payloads) -> bool:
+        """Vectorized commit-vote path for a forwarded ``VOTES`` quorum.
+
+        Absorbs the whole same-pair run in one staged batch with outer
+        signatures deferred to the threshold crossing; a batch that does
+        not cross (or fails verification) is left to the caller's scalar
+        loop, which replays the eager semantics exactly.
+        """
+        if self.has_committed:
+            return False
+        mask = self.absorb_vote_batch(
+            self._votes, key, signers, payloads, threshold=self.quorum
+        )
+        if mask is None:
+            return False
+        view, value = key
+        self.multicast(
+            self._votes.quorum_payload(
+                key, lambda q: (VOTES, view, q), mask=mask
+            ),
+            include_self=False,
+        )
+        self.commit(value)
+        self.terminate()
+        return True
+
     def _parse_value_entry(
         self, entry: SignedPayload
     ) -> tuple[int, Value] | None:
         """Validate a countersigned leader pair; return (view, value)."""
         if not isinstance(entry, SignedPayload) or not self.verify(entry):
             return None
+        return self._parse_entry_body(entry)
+
+    def _parse_entry_body(
+        self, entry: SignedPayload
+    ) -> tuple[int, Value] | None:
+        """:meth:`_parse_value_entry` sans the outer entry signature."""
         pair = entry.payload
         if not isinstance(pair, SignedPayload) or not self.verify(pair):
             return None

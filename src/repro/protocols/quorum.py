@@ -61,7 +61,53 @@ from __future__ import annotations
 
 from typing import Any, Callable, Hashable, Iterable
 
-__all__ = ["QuorumTracker", "commit_quorum", "honest_witness", "honest_majority"]
+__all__ = [
+    "QuorumTracker",
+    "StagedBatch",
+    "commit_quorum",
+    "honest_witness",
+    "honest_majority",
+]
+
+
+class StagedBatch:
+    """An uncommitted :meth:`QuorumTracker.add_batch`: acceptance decided,
+    tracker state untouched.
+
+    Staging lets the vectorized vote path decide *whether* to absorb a
+    whole arrival run before mutating anything: the deferred-verify
+    wiring stages the batch, checks the signatures only if the batch
+    would cross its threshold, then either commits the staged result or
+    discards it and replays the eager per-vote path.  A staged batch is
+    a snapshot — committing it after any other ``add`` on the same
+    tracker is a caller bug (the acceptance decisions would be stale).
+    """
+
+    __slots__ = (
+        "value",
+        "pairs",
+        "accepted",
+        "mask",
+        "voted",
+        "flagged",
+        "crossing_mask",
+    )
+
+    def __init__(self, value, pairs, accepted, mask, voted, flagged,
+                 crossing_mask):
+        self.value = value
+        self.pairs = pairs
+        self.accepted = accepted  # (signer, payload) adds the loop kept
+        self.mask = mask  # the value's signer mask after the batch
+        self.voted = voted  # the tracker-wide voted mask after the batch
+        self.flagged = flagged  # signers newly seen equivocating
+        self.crossing_mask = crossing_mask  # mask at the threshold add, or 0
+
+    @property
+    def crossed(self) -> bool:
+        """True iff this batch itself carried the tally across the
+        threshold (an already-met threshold never re-crosses)."""
+        return self.crossing_mask != 0
 
 
 def commit_quorum(n: int, f: int) -> int:
@@ -109,6 +155,7 @@ class QuorumTracker:
 
     __slots__ = (
         "checks",
+        "batched",
         "equivocators",
         "_slots",
         "_voted",
@@ -125,6 +172,7 @@ class QuorumTracker:
         shared_memo: Any | None = None,
     ):
         self.checks = 0
+        self.batched = 0  # votes absorbed through committed batches
         self.equivocators: set[int] = set()
         #: value -> [signer_mask, entries-or-None]; insertion-ordered, so
         #: iteration visits values in first-vote order like the dict
@@ -182,6 +230,114 @@ class QuorumTracker:
                 entries.append((signer, payload))
         self._voted = voted | bit
         return mask.bit_count()
+
+    # ------------------------------------------------------------------ #
+    # the vectorized path: whole arrival runs in one pass
+    # ------------------------------------------------------------------ #
+
+    def stage_batch(
+        self,
+        value: Hashable,
+        pairs: list[tuple[int, Any]],
+        *,
+        threshold: int | None = None,
+    ) -> StagedBatch:
+        """Decide a whole batch of same-value votes without mutating.
+
+        Runs the exact acceptance loop of :meth:`add` — duplicate-signer
+        rejection, cross-value equivocation flagging, ``first_vote_only``
+        rejection — over ``(signer, payload)`` pairs in order, against a
+        *local copy* of the tracker state.  Returns a :class:`StagedBatch`
+        recording what :meth:`commit_staged` would apply, including the
+        signer mask at the add that crossed ``threshold`` (exactly the
+        mask the scalar path would expose to ``add(...) == threshold``).
+        """
+        slot = self._slots.get(value)
+        mask = slot[0] if slot is not None else 0
+        voted = self._voted
+        detect = self._detect
+        first_only = self._first_only
+        accepted: list[tuple[int, Any]] = []
+        flagged: list[int] = []
+        count = mask.bit_count()
+        crossing_mask = 0
+        for signer, payload in pairs:
+            bit = 1 << signer
+            if mask & bit:
+                continue  # duplicate signer for this value
+            if voted & bit:
+                if detect:
+                    flagged.append(signer)
+                if first_only:
+                    continue
+            mask |= bit
+            voted |= bit
+            count += 1
+            accepted.append((signer, payload))
+            if count == threshold:
+                crossing_mask = mask
+        return StagedBatch(
+            value, pairs, accepted, mask, voted, flagged, crossing_mask
+        )
+
+    def commit_staged(self, staged: StagedBatch) -> int:
+        """Apply a staged batch; returns the value's new tally.
+
+        Equivalent to the scalar loop the batch replaced: ``checks``
+        counts every pair (every vote would have been an :meth:`add`
+        call), the value slot is created only if the batch actually
+        recorded a vote (so slot iteration order matches the scalar
+        path), and the batch mask/entries/equivocator updates land in
+        one store each instead of per vote.
+        """
+        n_pairs = len(staged.pairs)
+        self.checks += n_pairs
+        self.batched += n_pairs
+        if staged.accepted:
+            entries = [
+                (signer, payload)
+                for signer, payload in staged.accepted
+                if payload is not None
+            ]
+            slot = self._slots.get(staged.value)
+            if slot is None:
+                self._slots[staged.value] = [
+                    staged.mask, entries or None
+                ]
+            else:
+                slot[0] = staged.mask
+                if entries:
+                    if slot[1] is None:
+                        slot[1] = entries
+                    else:
+                        slot[1].extend(entries)
+            self._voted = staged.voted
+        if staged.flagged:
+            self.equivocators.update(staged.flagged)
+        return staged.mask.bit_count()
+
+    def add_batch(
+        self,
+        value: Hashable,
+        pairs: list[tuple[int, Any]],
+        *,
+        threshold: int | None = None,
+    ) -> tuple[int, int | None]:
+        """Absorb a batch of same-value votes in one pass.
+
+        Exactly equivalent to ``for signer, payload in pairs:
+        add(value, signer, payload)`` — same acceptance decisions, same
+        ``checks`` accounting, same equivocator flags — but one bitmask
+        OR per accepted vote and one ``bit_count`` total.  Returns
+        ``(tally, crossing_mask)`` where ``crossing_mask`` is the signer
+        mask at the add that reached ``threshold`` (``None`` when the
+        batch did not cross it); feed it to :meth:`quorum_payload` so a
+        quorum-forward built mid-batch is byte-identical to the one the
+        scalar path builds at its crossing call.
+        """
+        staged = self.stage_batch(value, pairs, threshold=threshold)
+        count = self.commit_staged(staged)
+        return count, (staged.crossing_mask or None)
 
     # ------------------------------------------------------------------ #
     # tallies
@@ -262,8 +418,23 @@ class QuorumTracker:
             return ()
         return tuple(payload for _, payload in sorted(slot[1]))
 
+    def _mask_entries(self, value: Hashable, mask: int) -> tuple:
+        """Signer-sorted payloads for the signers selected by ``mask``."""
+        slot = self._slots.get(value)
+        if slot is None or slot[1] is None:
+            return ()
+        return tuple(
+            payload
+            for signer, payload in sorted(slot[1])
+            if mask >> signer & 1
+        )
+
     def quorum_payload(
-        self, value: Hashable, build: Callable[[tuple], Any]
+        self,
+        value: Hashable,
+        build: Callable[[tuple], Any],
+        *,
+        mask: int | None = None,
     ) -> Any:
         """The quorum-forward message for ``value``'s current supporters.
 
@@ -273,14 +444,22 @@ class QuorumTracker:
         every party whose supporter set (the signer mask) matches —
         deterministic signatures make equal ``(value, mask)`` imply
         byte-identical messages, so sharing changes object identity only.
+
+        ``mask`` selects a supporter subset (default: the full current
+        mask).  The vectorized vote path passes the batch's *crossing*
+        mask so a quorum forwarded after absorbing an oversize batch is
+        built from exactly the supporters the scalar path would have had
+        at its threshold crossing — same memo key, same bytes.
         """
         slot = self._slots[value]
+        if mask is None:
+            mask = slot[0]
         memo = self._shared
         if memo is None:
-            return build(self.sorted_entries(value))
-        key = (value, slot[0])
+            return build(self._mask_entries(value, mask))
+        key = (value, mask)
         hit = memo.get(key)
         if hit is None:
-            hit = build(self.sorted_entries(value))
+            hit = build(self._mask_entries(value, mask))
             memo.put(key, hit)
         return hit

@@ -99,8 +99,13 @@ class BbDelta15Delta(SyncBroadcastParty):
             self._on_vote(payload)
             return
         if isinstance(payload, tuple) and payload and payload[0] == VOTE_BATCH:
-            for vote in payload[1]:
-                self._on_vote(vote)
+            self.handle_vote_batch(
+                payload[1],
+                parse_vote=self._parse_vote_body,
+                threshold=self.f + 1,
+                on_crossed=self._on_votes_crossed,
+                on_vote=self._on_vote,
+            )
 
     # ------------------------------------------------------------------ #
     # steps 2 + 3: forward and early-vote per grid point
@@ -136,25 +141,45 @@ class BbDelta15Delta(SyncBroadcastParty):
     # step 4: commit and lock
     # ------------------------------------------------------------------ #
 
+    def _parse_vote_body(self, vote: SignedPayload):
+        """Tally key + broadcaster value of a structurally valid vote.
+
+        The outer vote signature is *not* checked here — the batch path
+        defers it to the grid-point crossing (the embedded proposal is
+        verified, once per shared object, by ``parse_proposal``).
+        """
+        body = vote.payload
+        if not (isinstance(body, tuple) and len(body) == 3 and body[0] == VOTE):
+            return None
+        _, d, proposal = body
+        if not isinstance(d, (int, float)) or not 0 <= d <= self.big_delta:
+            return None
+        value = self.parse_proposal(proposal)
+        if value is None:
+            return None
+        return (float(d), value), value
+
     def _on_vote(self, vote: SignedPayload) -> None:
         if not self.verify(vote):
             return
-        body = vote.payload
-        if not (isinstance(body, tuple) and len(body) == 3 and body[0] == VOTE):
+        parsed = self._parse_vote_body(vote)
+        if parsed is None:
             return
-        _, d, proposal = body
-        if not isinstance(d, (int, float)) or not 0 <= d <= self.big_delta:
-            return
-        value = self.parse_proposal(proposal)
-        if value is None:
-            return
+        key, value = parsed
         self.note_broadcaster_value(value)
-        key = (float(d), value)
         if self.votes.add(key, vote.signer, vote) == self.f + 1:
             self._quorum_times[key] = self.local_time()
             self._on_quorum(key)
 
-    def _on_quorum(self, key: tuple[float, Value]) -> None:
+    def _on_votes_crossed(
+        self, key: tuple[float, Value], mask: int
+    ) -> None:
+        self._quorum_times[key] = self.local_time()
+        self._on_quorum(key, mask)
+
+    def _on_quorum(
+        self, key: tuple[float, Value], mask: int | None = None
+    ) -> None:
         d, value = key
         t_votes = self._quorum_times[key]
         if key not in self._forwarded_quorums:
@@ -162,7 +187,7 @@ class BbDelta15Delta(SyncBroadcastParty):
             witness = self.f + 1
             self.multicast(
                 self.votes.quorum_payload(
-                    key, lambda q: (VOTE_BATCH, q[:witness])
+                    key, lambda q: (VOTE_BATCH, q[:witness]), mask=mask
                 ),
                 include_self=False,
             )

@@ -61,8 +61,13 @@ class BbDelta2Delta(SyncBroadcastParty):
             self._on_vote(payload)
             return
         if isinstance(payload, tuple) and payload and payload[0] == VOTE_BATCH:
-            for vote in payload[1]:
-                self._on_vote(vote)
+            self.handle_vote_batch(
+                payload[1],
+                parse_vote=self._parse_vote_body,
+                threshold=self.f + 1,
+                on_crossed=self._on_quorum,
+                on_vote=self._on_vote,
+            )
 
     def _on_proposal(
         self, sender: PartyId, value: Value, proposal: SignedPayload
@@ -88,26 +93,39 @@ class BbDelta2Delta(SyncBroadcastParty):
             self.signer.sign(self.shared_payload((VOTE, proposal)))
         )
 
+    def _parse_vote_body(self, vote: SignedPayload):
+        """Tally key + broadcaster value of a structurally valid vote.
+
+        The outer vote signature is *not* checked here — the batch path
+        defers it to the threshold crossing (the embedded proposal is
+        verified, once per shared object, by ``parse_proposal``).
+        """
+        body = vote.payload
+        if not (isinstance(body, tuple) and len(body) == 2 and body[0] == VOTE):
+            return None
+        value = self.parse_proposal(body[1])
+        if value is None:
+            return None
+        return value, value
+
     def _on_vote(self, vote: SignedPayload) -> None:
         if not self.verify(vote):
             return
-        body = vote.payload
-        if not (isinstance(body, tuple) and len(body) == 2 and body[0] == VOTE):
+        parsed = self._parse_vote_body(vote)
+        if parsed is None:
             return
-        value = self.parse_proposal(body[1])
-        if value is None:
-            return
+        value = parsed[0]
         self.note_broadcaster_value(value)
         if self.votes.add(value, vote.signer, vote) == self.f + 1:
             self._on_quorum(value)
 
-    def _on_quorum(self, value: Value) -> None:
+    def _on_quorum(self, value: Value, mask: int | None = None) -> None:
         if value not in self._forwarded:
             self._forwarded.add(value)
             witness = self.f + 1
             self.multicast(
                 self.votes.quorum_payload(
-                    value, lambda q: (VOTE_BATCH, q[:witness])
+                    value, lambda q: (VOTE_BATCH, q[:witness]), mask=mask
                 ),
                 include_self=False,
             )

@@ -81,8 +81,13 @@ class BbDeltaDeltaN3(SyncBroadcastParty):
                 self._on_commit_msg(payload)
             return
         if isinstance(payload, tuple) and payload and payload[0] == VOTE_QUORUM:
-            for vote in payload[1]:
-                self._on_vote(vote)
+            self.handle_vote_batch(
+                payload[1],
+                parse_vote=self._parse_vote_body,
+                threshold=self.quorum,
+                on_crossed=self._on_votes_crossed,
+                on_vote=self._on_vote,
+            )
 
     def _on_proposal(self, value: Value, proposal: SignedPayload) -> None:
         if self._voted:
@@ -101,15 +106,28 @@ class BbDeltaDeltaN3(SyncBroadcastParty):
     # step 3
     # ------------------------------------------------------------------ #
 
+    def _parse_vote_body(self, vote: SignedPayload):
+        """Tally key + broadcaster value of a structurally valid vote.
+
+        The outer vote signature is *not* checked here — the batch path
+        defers it to the quorum crossing (the embedded proposal is
+        verified, once per shared object, by ``parse_proposal``).
+        """
+        body = vote.payload
+        if not (isinstance(body, tuple) and len(body) == 2 and body[0] == VOTE):
+            return None
+        value = self.parse_proposal(body[1])
+        if value is None:
+            return None
+        return value, value
+
     def _on_vote(self, vote: SignedPayload) -> None:
         if not self.verify(vote):
             return
-        body = vote.payload
-        if not (isinstance(body, tuple) and len(body) == 2 and body[0] == VOTE):
+        parsed = self._parse_vote_body(vote)
+        if parsed is None:
             return
-        value = self.parse_proposal(body[1])
-        if value is None:
-            return
+        value = parsed[0]
         self.note_broadcaster_value(value)  # votes embed the proposal
         count = self.votes.add(value, vote.signer, vote)
         if (
@@ -119,8 +137,22 @@ class BbDeltaDeltaN3(SyncBroadcastParty):
             self._vote_quorum_times[value] = self.local_time()
         self._try_commit()
 
-    def _try_commit(self) -> None:
-        """Commit path: timer expired, no equivocation, quorum in time."""
+    def _on_votes_crossed(self, value: Value, mask: int) -> None:
+        if value not in self._vote_quorum_times:
+            self._vote_quorum_times[value] = self.local_time()
+        self._try_commit(crossing=(value, mask))
+
+    def _try_commit(
+        self, crossing: tuple[Value, int] | None = None
+    ) -> None:
+        """Commit path: timer expired, no equivocation, quorum in time.
+
+        ``crossing`` — the batch path's ``(value, crossing mask)`` —
+        pins the forwarded supporter set when the forward fires at the
+        crossing itself, so an oversize batch forwards the same bytes
+        the scalar crossing would.  Deferred forwards (timer fires
+        later) use the then-current mask in both paths.
+        """
         if not self._vote_timer_expired or self.has_committed:
             return
         if self.equivocation_detected_at is not None:
@@ -130,9 +162,14 @@ class BbDeltaDeltaN3(SyncBroadcastParty):
                 continue
             if value not in self._forwarded:
                 self._forwarded.add(value)
+                mask = (
+                    crossing[1]
+                    if crossing is not None and crossing[0] == value
+                    else None
+                )
                 self.multicast(
                     self.votes.quorum_payload(
-                        value, lambda q: (VOTE_QUORUM, q)
+                        value, lambda q: (VOTE_QUORUM, q), mask=mask
                     ),
                     include_self=False,
                 )

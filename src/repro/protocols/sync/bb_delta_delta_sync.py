@@ -64,7 +64,18 @@ class BbDeltaDeltaSync(SyncBroadcastParty):
             self._on_vote(payload)
             return
         if isinstance(payload, tuple) and payload and payload[0] == VOTE_BATCH:
-            for vote in payload[1]:
+            votes = payload[1]
+            # Ranked votes commit on the exact arrival prefix: the
+            # witness set of `_commit_with_rank` depends on which
+            # (d, vote) pairs had been tallied when a window closed, and
+            # `_evaluate` runs after every accepted add — so the tally
+            # stays scalar here.  The batch still pays its signatures
+            # through one grouped verification (identical verdict to the
+            # per-vote checks), which warms the registry's verified memo
+            # so the loop below hits it instead of re-hashing.
+            if all(isinstance(vote, SignedPayload) for vote in votes):
+                self.registry.verify_batch(votes)
+            for vote in votes:
                 self._on_vote(vote)
 
     # ------------------------------------------------------------------ #

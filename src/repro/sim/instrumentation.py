@@ -72,8 +72,18 @@ class Instrumentation:
         envelopes: bool = False,
         recycle_events: bool = False,
         timeline: str = "bucket",
+        batch_deliveries: bool = True,
     ):
         self.name = name
+        #: Allow the network to fold a multicast's equal-delay copies
+        #: into one ``_deliver_many`` run event.  On by default in every
+        #: preset — the network additionally requires that no per-copy
+        #: observer (accountant, envelope log) and no fault injector is
+        #: attached, so under ``full``/``rounds`` the per-copy path is
+        #: forced regardless.  ``False`` forces per-copy scheduling even
+        #: with observers off; the batched-delivery parity suite uses it
+        #: to pin byte-identical outcomes across both paths.
+        self.batch_deliveries = batch_deliveries
         #: Event-queue backend for the world's simulator.  ``"bucket"``
         #: (the calendar timeline) is the default in every preset —
         #: backends replay byte-identical schedules, so this is a pure
@@ -157,6 +167,11 @@ class Instrumentation:
     def quorum_checks(self) -> int:
         """Total tally updates across this execution's quorum trackers."""
         return sum(t.checks for t in self._quorum_trackers)
+
+    @property
+    def votes_batched(self) -> int:
+        """Votes absorbed through the vectorized ``add_batch`` path."""
+        return sum(t.batched for t in self._quorum_trackers)
 
     @property
     def equivocations_detected(self) -> int:

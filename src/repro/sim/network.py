@@ -105,8 +105,21 @@ class Network:
         self._envelopes = (
             instrumentation.envelopes if instrumentation is not None else None
         )
+        # Run batching: a multicast's equal-delay copies become *one*
+        # transient event (``_deliver_many``).  Only legal when nothing
+        # observes or perturbs individual copies — the gate below also
+        # requires accountant/envelopes/injector to be absent; this flag
+        # is the instrumentation bundle's explicit opt-out so parity
+        # suites can force the per-copy path with observers off.
+        self._batch_runs = bool(
+            getattr(instrumentation, "batch_deliveries", True)
+        )
         self.messages_sent = 0
         self.messages_delivered = 0
+        #: Copies delivered through batched run events, and the number of
+        #: such run events (0 whenever the per-copy path is forced).
+        self.deliveries_batched = 0
+        self.delivery_runs_batched = 0
 
     @property
     def n(self) -> int:
@@ -199,7 +212,25 @@ class Network:
         send_time = self._sim.now
         order_key = None
         self.messages_sent += len(recipients)
-        if self._common_offset is not None and injector is None:
+        if (
+            self._batch_runs
+            and self._common_offset is not None
+            and injector is None
+            and self._accountant is None
+            and self._envelopes is None
+        ):
+            # Fully batched fan-out: each run of >= 2 equal delays is one
+            # transient event carrying the recipient slice; the per-copy
+            # loop moves inside ``_deliver_many``.  Legal only with no
+            # per-copy observer (accountant/envelopes) and no injector —
+            # their seams are per copy — and only for runs delivered
+            # strictly after ``send_time`` (a same-instant run's copies
+            # would already be consumed when a reaction to the first copy
+            # schedules, losing the per-copy tie-break the heap gives).
+            order_key = self._multicast_runs(
+                sender, recipients, delays, payload, send_time
+            )
+        elif self._common_offset is not None and injector is None:
             # Batched fast fan-out: with one start offset for everyone,
             # the delivery time is a pure function of the delay, so runs
             # of equal delays (every fixed/Gst-stable policy) share one
@@ -265,6 +296,136 @@ class Network:
                     sender, recipient, payload, delay, send_time, order_key
                 )
         self._deliver_self(sender, payload, include_self, order_key)
+
+    def _multicast_runs(
+        self,
+        sender: PartyId,
+        recipients: list[PartyId],
+        delays: list[float],
+        payload: Any,
+        send_time: float,
+    ) -> bytes | None:
+        """Schedule a fan-out as one event per equal-delay run.
+
+        Delivery rules match ``_schedule_copy``: INF runs are dropped,
+        negative delays raise, times are quantized against the common
+        start offset, and the order-key digest happens only once a run is
+        actually scheduled.  Runs are flushed in recipient order, so the
+        schedule's ``(time, priority, order_key)`` ordering — and hence
+        every party's inbox order — is identical to the per-copy path.
+        """
+        offset = self._common_offset
+        order_key = None
+        prev_delay: float | None = None
+        deliver_time = 0.0
+        start = 0
+        for idx, delay in enumerate(delays):
+            if delay == prev_delay:
+                continue
+            if idx > start and deliver_time != INF:
+                if order_key is None:
+                    order_key = digest(payload)
+                self._schedule_run(
+                    sender, recipients, start, idx, payload,
+                    deliver_time, send_time, order_key,
+                )
+            start = idx
+            prev_delay = delay
+            if delay == INF:
+                deliver_time = INF
+            else:
+                if delay < 0:
+                    raise SimulationError(
+                        f"policy produced negative delay {delay}"
+                    )
+                deliver_time = quantize(max(send_time + delay, offset))
+        end = len(delays)
+        if end > start and deliver_time != INF:
+            if order_key is None:
+                order_key = digest(payload)
+            self._schedule_run(
+                sender, recipients, start, end, payload,
+                deliver_time, send_time, order_key,
+            )
+        return order_key
+
+    def _schedule_run(
+        self,
+        sender: PartyId,
+        recipients: list[PartyId],
+        start: int,
+        end: int,
+        payload: Any,
+        deliver_time: float,
+        send_time: float,
+        order_key: bytes,
+    ) -> None:
+        """Schedule one equal-delay run: a single ``_deliver_many`` event
+        for real runs, the classic per-copy events for singletons (same
+        event shape, seq and cost as before) and for same-instant runs
+        (their copies must stay individually orderable against reactions
+        the run itself triggers)."""
+        count = end - start
+        if count == 1:
+            self._sim.schedule_at(
+                deliver_time,
+                self._deliver,
+                order_key=order_key,
+                label="deliver",
+                args=(sender, recipients[start], payload, None),
+                transient=True,
+            )
+            return
+        if deliver_time <= send_time:
+            self._sim.schedule_batch(
+                deliver_time,
+                self._deliver,
+                [(sender, r, payload, None) for r in recipients[start:end]],
+                order_key=order_key,
+                label="deliver",
+                transient=True,
+            )
+            return
+        # The full fan-out reuses the cached recipient list itself (the
+        # cache is write-once, so the event cannot observe a mutation).
+        run = (
+            recipients
+            if count == len(recipients)
+            else recipients[start:end]
+        )
+        self.delivery_runs_batched += 1
+        self.deliveries_batched += count
+        self._sim.schedule_at(
+            deliver_time,
+            self._deliver_many,
+            order_key=order_key,
+            label="deliver-run",
+            args=(sender, run, payload),
+            transient=True,
+        )
+
+    def _deliver_many(
+        self, sender: PartyId, recipients: list[PartyId], payload: Any
+    ) -> None:
+        """Deliver one payload to a whole run of recipients.
+
+        The tight-loop twin of ``_deliver``: one event frame for the run,
+        an index load + inbox call per copy.  Only ever scheduled when no
+        injector, accountant or envelope observer is attached, so the
+        per-copy seams those hook are unreachable here by construction.
+        The simulator is told about the folded copies so
+        ``events_processed`` counts logical deliveries identically to the
+        per-copy path.
+        """
+        self._sim.note_logical_events(len(recipients) - 1)
+        inboxes = self._inboxes
+        delivered = 0
+        for recipient in recipients:
+            inbox = inboxes[recipient]
+            if inbox is not None:
+                delivered += 1
+                inbox(sender, payload)
+        self.messages_delivered += delivered
 
     def _deliver_self(
         self,

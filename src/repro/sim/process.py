@@ -87,6 +87,49 @@ class Party(Agent):
     def on_message(self, sender: PartyId, payload: Any) -> None:
         """Protocol hook: runs on every delivered message until terminated."""
 
+    def on_votes_batch(self, value, signers, payloads) -> bool:
+        """Opt-in vectorized vote path: absorb one same-value vote run.
+
+        Called by protocol message handlers that just unpacked a
+        multi-vote message (a forwarded vote quorum, a witness batch)
+        whose items all vote for ``value``.  A protocol opts in by
+        overriding this with a :meth:`absorb_vote_batch`-based
+        implementation; returning ``True`` claims the run (the caller
+        must not also feed the votes through its scalar path), ``False``
+        sends the caller to its eager per-vote loop.  The base class
+        never claims a run, so protocols that never opt in keep their
+        scalar semantics untouched.
+        """
+        return False
+
+    def absorb_vote_batch(
+        self, tracker, value, signers, payloads, *, threshold
+    ) -> int | None:
+        """The deferred-verify batch engine behind :meth:`on_votes_batch`.
+
+        Stages the whole run on ``tracker`` (one acceptance pass, no
+        mutation), and only if the batch itself crosses ``threshold``
+        pays for signatures — one :meth:`KeyRegistry.verify_batch` over
+        the run instead of one ``verify`` per vote.  On success the
+        staged batch is committed and the *crossing* signer mask is
+        returned (exactly the mask the scalar path sees at its
+        ``add(...) == threshold`` call, for byte-identical
+        quorum-forward payloads).  Returns ``None`` — with the tracker
+        untouched — when the batch does not cross or any signature
+        fails; the caller then replays its eager per-vote path, which
+        reproduces the scalar semantics (including which forged vote is
+        dropped and which equivocators are flagged) by construction.
+        """
+        staged = tracker.stage_batch(
+            value, list(zip(signers, payloads)), threshold=threshold
+        )
+        if not staged.crossed:
+            return None
+        if not self.registry.verify_batch(payloads):
+            return None
+        tracker.commit_staged(staged)
+        return staged.crossing_mask
+
     # ------------------------------------------------------------------ #
     # services
     # ------------------------------------------------------------------ #

@@ -275,7 +275,10 @@ class World:
             bucket_appends=self.sim.bucket_appends,
             heap_pushes_avoided=self.sim.heap_pushes_avoided,
             timeline=self.sim.timeline,
+            deliveries_batched=self.network.deliveries_batched,
+            delivery_runs_batched=self.network.delivery_runs_batched,
             quorum_checks=self.instrumentation.quorum_checks,
+            votes_batched=self.instrumentation.votes_batched,
             equivocations_detected=self.instrumentation.equivocations_detected,
             instrumentation=self.instrumentation.name,
             rounds_recorded=self.accountant is not None,
@@ -312,8 +315,16 @@ class RunResult:
     heap_pushes_avoided: int = 0
     #: Event-queue backend the run used (``"bucket"`` / ``"heap"``).
     timeline: str = "bucket"
+    #: Copies delivered through batched ``_deliver_many`` run events and
+    #: the number of such events; both 0 whenever the per-copy delivery
+    #: path was forced (accountant attached, fault injector present, or
+    #: ``batch_deliveries=False``).
+    deliveries_batched: int = 0
+    delivery_runs_batched: int = 0
     #: Tally updates across every party's quorum trackers.
     quorum_checks: int = 0
+    #: Votes absorbed through the vectorized ``add_batch`` path.
+    votes_batched: int = 0
     #: Equivocating signers witnessed by detection-enabled trackers.
     equivocations_detected: int = 0
     instrumentation: str = "full"

@@ -54,7 +54,23 @@ class Simulator:
 
     @property
     def events_processed(self) -> int:
+        """Logical events processed.
+
+        Counts one per fired event, plus the extra logical deliveries a
+        batched fan-out run folds into a single transient event (the
+        network reports those via :meth:`note_logical_events`) — so the
+        counter is invariant between the batched and per-copy delivery
+        paths, and parity gates can keep comparing it across modes.
+        """
         return self._events_processed
+
+    def note_logical_events(self, extra: int) -> None:
+        """Account ``extra`` logical events folded into the current one.
+
+        Called by the network when one delivery-run event stands in for
+        ``extra + 1`` per-copy delivery events.
+        """
+        self._events_processed += extra
 
     @property
     def events_recycled(self) -> int:

@@ -313,3 +313,51 @@ class TestEquivocatingVoter:
             party_factory=Brb2Round.factory(broadcaster=0, input_value="v"),
         )
         assert result.equivocations_detected == 0
+
+
+class TestForgedVoteQuorum:
+    """Deferred verification must reject a forged batch at the crossing."""
+
+    def _run(self, *, mixed, delay_seed=None):
+        from repro.adversary.behaviors import forge_vote_quorum
+        from repro.protocols.brb_2round import Brb2Round
+        from repro.sim.delays import UniformDelay
+
+        policy = (
+            UniformDelay(0.0, 1.0, seed=delay_seed)
+            if delay_seed is not None
+            else FixedDelay(1.0)
+        )
+        return run_broadcast(
+            n=7,
+            f=2,
+            party_factory=Brb2Round.factory(broadcaster=0, input_value="v"),
+            delay_policy=policy,
+            byzantine=frozenset({5, 6}),
+            behavior_factory=forge_vote_quorum(
+                broadcaster=0, forged_value="forged", mixed=mixed
+            ),
+        )
+
+    @pytest.mark.parametrize("seed", [None, 3, 11])
+    def test_forged_batch_rejected_same_as_eager(self, seed):
+        # The uniform forged batch crosses at the staging step, so a
+        # receiver that skipped the crossing-time batch verification
+        # would commit "forged"; the mixed batch never reaches staging
+        # (the uniform-run gate bounces it to the scalar loop).  Both
+        # rejection routes must end in the same commit outcome and the
+        # same clean tallies as the eager path.
+        batched = self._run(mixed=False, delay_seed=seed)
+        eager = self._run(mixed=True, delay_seed=seed)
+        for result in (batched, eager):
+            assert result.all_honest_committed()
+            assert result.agreement_holds()
+            assert result.committed_value() == "v"
+            # Forged votes fail verification before any tally touch:
+            # no equivocators are ever flagged.
+            assert result.equivocations_detected == 0
+        assert dict(batched.commits) == dict(eager.commits)
+        # The forged batch is never absorbed through the vectorized
+        # path — rejection happens before commit_staged.
+        honest_only = self._run(mixed=False, delay_seed=None)
+        assert honest_only.committed_value() == "v"

@@ -295,3 +295,90 @@ class TestInstrumentationInvariance:
         assert results["full"].events_recycled == 0
         assert results["rounds"].events_recycled == 0
         assert results["perf"].events_recycled > 0
+
+
+class TestBatchScalarParity:
+    """``add_batch`` must be indistinguishable from a loop of ``add``."""
+
+    @staticmethod
+    def _tracker_state(tracker):
+        return (
+            {
+                value: (
+                    tuple(tracker.signers(value)),
+                    tuple(tracker.entries(value)),
+                )
+                for value in tracker.values()
+            },
+            set(tracker.equivocators),
+            tracker.checks,
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4, 5, 6, 7])
+    @pytest.mark.parametrize(
+        "first_only,detect",
+        [(False, False), (False, True), (True, False), (True, True)],
+    )
+    def test_randomized_stream_parity(self, seed, first_only, detect):
+        import random
+
+        rng = random.Random(seed)
+        n, threshold = 12, 7
+        # A vote stream with duplicates and cross-value equivocators.
+        stream = []
+        for _ in range(60):
+            signer = rng.randrange(n)
+            value = rng.choice(["a", "b"])
+            stream.append((value, signer, f"{value}:{signer}"))
+        scalar = QuorumTracker(
+            first_vote_only=first_only, detect_equivocation=detect
+        )
+        batch = QuorumTracker(
+            first_vote_only=first_only, detect_equivocation=detect
+        )
+        scalar_crossings = []
+        for value, signer, payload in stream:
+            if scalar.add(value, signer, payload) == threshold:
+                mask = sum(1 << s for s in scalar.signers(value))
+                scalar_crossings.append((value, mask))
+        # Batch path: the same stream cut at random boundaries, each
+        # same-value run absorbed through add_batch (mixed-value cuts
+        # are re-split so every batch is single-value, as in the
+        # protocols' uniform-run gate).
+        batch_crossings = []
+        idx = 0
+        while idx < len(stream):
+            size = rng.randrange(1, 9)
+            chunk = stream[idx : idx + size]
+            idx += size
+            run_start = 0
+            for i in range(1, len(chunk) + 1):
+                if i == len(chunk) or chunk[i][0] != chunk[run_start][0]:
+                    run = chunk[run_start:i]
+                    value = run[0][0]
+                    _, mask = batch.add_batch(
+                        value,
+                        [(s, p) for _, s, p in run],
+                        threshold=threshold,
+                    )
+                    if mask is not None:
+                        batch_crossings.append((value, mask))
+                    run_start = i
+        assert self._tracker_state(scalar) == self._tracker_state(batch)
+        # The crossing fires exactly once per value in both paths, and
+        # the batch's crossing mask equals the mask the scalar tracker
+        # held right after its threshold-crossing add.
+        assert batch_crossings == scalar_crossings
+
+    def test_equivocation_across_batch_boundary(self):
+        # A signer voting "a" in one batch and "b" in the next is
+        # flagged exactly like the scalar path flags the second vote.
+        scalar = QuorumTracker(detect_equivocation=True)
+        batch = QuorumTracker(detect_equivocation=True)
+        for value, signer in [("a", 1), ("a", 2), ("b", 1), ("b", 3)]:
+            scalar.add(value, signer, None)
+        batch.add_batch("a", [(1, None), (2, None)], threshold=99)
+        batch.add_batch("b", [(1, None), (3, None)], threshold=99)
+        assert set(scalar.equivocators) == set(batch.equivocators) == {1}
+        assert scalar.signers("b") == batch.signers("b")
+        assert scalar.checks == batch.checks == 4

@@ -196,3 +196,62 @@ class TestPartyRuntime:
         assert result.all_honest_committed()
         assert result.agreement_holds()
         assert result.latency_from(0.0) == 0.0
+
+
+class TestFanoutCacheUnderRunBatching:
+    """The cached fan-out list is aliased into in-flight run events."""
+
+    def test_late_attach_receives_inflight_run(self):
+        # A batched run event captures the cached everyone-but-sender
+        # list at multicast time; inboxes must be resolved at *fire*
+        # time, so a party attached while the run is in flight still
+        # receives its copy (exactly like the per-copy path, which also
+        # probes the inbox at delivery).
+        from repro.sim.network import Network
+        from repro.sim.scheduler import Simulator
+
+        sim = Simulator()
+        network = Network(sim, FixedDelay(1.0), n=4)
+        got: list[tuple[int, int]] = []
+        for pid in (0, 2, 3):
+            network.attach(
+                pid, lambda s, p, pid=pid: got.append((pid, s))
+            )
+        network.multicast(0, ("hello",), include_self=False)
+        assert network.delivery_runs_batched == 1
+        # Party 1 attaches after the run was scheduled but before it
+        # fires: the aliased recipient list must not have been filtered
+        # against attach-time inboxes.
+        network.attach(1, lambda s, p: got.append((1, s)))
+        sim.run()
+        assert sorted(got) == [(1, 0), (2, 0), (3, 0)]
+        assert network.deliveries_batched == 3
+        assert network.messages_delivered == 3
+
+    def test_cached_fanout_is_not_mutated_by_crash(self):
+        # A mid-run crash window routes delivery through the injector's
+        # per-copy seam; the cached fan-out membership must stay the
+        # full everyone-but-sender list afterwards (crashes gate
+        # delivery, they never edit recipient lists in place).
+        from repro.adversary.behaviors import CrashBehavior
+        from repro.protocols.brb_2round import Brb2Round
+        from repro.sim.runner import World
+
+        world = World(n=7, f=2, delay_policy=FixedDelay(1.0),
+                      byzantine=frozenset({5, 6}))
+        world.populate(
+            Brb2Round.factory(broadcaster=0, input_value="v"),
+            lambda w, p: CrashBehavior(
+                w, p, at=1.0, recover=3.0,
+                party_factory=Brb2Round.factory(
+                    broadcaster=0, input_value="v"
+                ),
+            ),
+        )
+        result = world.run()
+        assert result.all_honest_committed()
+        network = world.network
+        for sender in range(7):
+            cached = network._fanouts[sender]
+            if cached is not None:
+                assert cached == [r for r in range(7) if r != sender]

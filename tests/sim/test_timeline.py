@@ -350,7 +350,15 @@ class TestRunResultParity:
             instrumentation="perf",
         )
         assert result.timeline == "bucket"
-        assert result.bucket_appends == result.events_processed
+        # Every *physical* event went through a bucket append; batched
+        # delivery runs fold extra logical deliveries into one event, so
+        # the physical count is the logical one minus the folded copies.
+        assert result.bucket_appends == (
+            result.events_processed
+            - result.deliveries_batched
+            + result.delivery_runs_batched
+        )
+        assert result.deliveries_batched > 0
         assert result.heap_pushes_avoided > 0
         heap_result = run_broadcast(
             n=16, f=5,
