@@ -110,12 +110,33 @@ class CrashBehavior(ByzantineBehavior):
             return
         if not self.is_down():
             brain.start()
+            self._schedule_recovery_hooks(brain)
             return
         recovery = self.window.next_recovery_after(self.world.sim.now)
         if recovery is not None:
             self.world.sim.schedule_at(
                 recovery, brain.start, label=f"crash-recover p{self.id}"
             )
+
+    def _schedule_recovery_hooks(self, brain: Party) -> None:
+        """Notify a running brain at each finite recovery instant.
+
+        A brain that started *before* its crash window holds timers
+        armed from pre-crash local instants; its timeout multicasts
+        fired while down were suppressed by the send gate.  The
+        ``on_recover`` hook lets the protocol re-arm / re-announce from
+        the recovery instant — without it a recovered view protocol
+        stays silent forever.
+        """
+        hook = getattr(brain, "on_recover", None)
+        if hook is None:
+            return
+        now = self.world.sim.now
+        for _, recover in self.window.windows:
+            if recover != INF and recover > now:
+                self.world.sim.schedule_at(
+                    recover, hook, label=f"crash-rejoin p{self.id}"
+                )
 
     def deliver(self, sender: PartyId, payload: Any) -> None:
         brain = self._brains.get(self.BRAIN)

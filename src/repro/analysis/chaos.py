@@ -28,22 +28,31 @@ pickle to engine workers, like every sweep in
 """
 from __future__ import annotations
 
+import json
 import random
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Callable
 
 from repro.analysis.engine import SweepEngine, SweepTask
 from repro.errors import InvariantViolation
 from repro.sim.faults import (
     Crash,
+    CrashLeader,
     DropLink,
     DuplicateLink,
     FaultPlan,
     GstChurn,
+    Holdback,
     Partition,
     ReorderJitter,
 )
-from repro.sim.invariants import standard_monitors
+from repro.sim.invariants import (
+    TerminationAfterGst,
+    ViewProgress,
+    standard_monitors,
+)
+from repro.sim.retransmit import ReliableLink
 
 
 @dataclass(frozen=True)
@@ -105,6 +114,50 @@ CHAOS_SPECS: dict[str, ChaosSpec] = {
         ),
     )
 }
+
+
+#: View-change tier: the same psync protocols, but every plan *forces*
+#: them past the good case — a crashed or starved view-1 leader — and the
+#: gate demands a commit in view >= 2 with liveness monitors swapped for
+#: their partial-synchrony forms (termination-after-GST, view progress).
+#: More slack than the good-case tier: a full view timeout (4 * Delta)
+#: plus a second view's worth of protocol time burns before any commit.
+CHAOS_SPECS_VIEWCHANGE: dict[str, ChaosSpec] = {
+    spec.protocol: spec
+    for spec in (
+        ChaosSpec(
+            protocol="psync_pbft", n=4, f=1, timing="psync",
+            jitter_max=0.1, echo_max=0.2, slack=16.0,
+        ),
+        ChaosSpec(
+            protocol="psync_fab", n=6, f=1, timing="psync",
+            jitter_max=0.1, echo_max=0.2, slack=16.0,
+        ),
+        ChaosSpec(
+            protocol="psync_vbb_5f1", n=4, f=1, timing="psync",
+            jitter_max=0.1, echo_max=0.2, slack=16.0,
+        ),
+    )
+}
+
+#: One disrupted view (view 1) justifies reaching view 2; 3 leaves room
+#: for a straggler round trip without letting runaway timers hide.
+VIEWCHANGE_MAX_VIEW = 3
+
+#: The chaos tiers, in sweep order.
+CHAOS_TIERS = ("good-case", "viewchange")
+
+
+def _spec_for(protocol: str, tier: str) -> ChaosSpec:
+    specs = (
+        CHAOS_SPECS_VIEWCHANGE if tier == "viewchange" else CHAOS_SPECS
+    )
+    if protocol not in specs:
+        raise KeyError(
+            f"unknown chaos protocol {protocol!r} for tier {tier!r}; "
+            f"expected one of {sorted(specs)}"
+        )
+    return specs[protocol]
 
 
 def _protocol_class(name: str):
@@ -258,14 +311,96 @@ def random_fault_plan(protocol: str, seed: int) -> FaultPlan:
     return plan.validate(n)
 
 
+def random_viewchange_plan(protocol: str, seed: int) -> FaultPlan:
+    """A seeded plan that *forces* ``protocol`` past its good case.
+
+    Deterministic in ``(protocol, seed)``.  Every plan kills view 1 one
+    of three ways — crash-stop the view-1 leader, crash it with a
+    mid-view-2 recovery (exercising the recovery re-arm path), or hold
+    back everything the leader sends until after the view timeout
+    (starvation without spending crash budget) — optionally garnished
+    with mild duplicates and jitter.  The gate for these plans is not
+    merely "no violation": a commit must land in view >= 2.
+    """
+    spec = CHAOS_SPECS_VIEWCHANGE[protocol]
+    rng = random.Random(seed)
+    timeout = 4 * spec.big_delta
+
+    leader_crashes: tuple[CrashLeader, ...] = ()
+    holdbacks: tuple[Holdback, ...] = ()
+    variant = rng.randrange(3)
+    if variant == 0:
+        # Crash-stop: the leader must be down before its t=0 proposal.
+        leader_crashes = (CrashLeader(view=1),)
+    elif variant == 1:
+        # Crash with recovery after view 2 is underway.
+        recover = round(timeout + rng.uniform(1.0, 3.0), 3)
+        leader_crashes = (CrashLeader(view=1, recover=recover),)
+    else:
+        # Starvation: everything the leader sends is held until after
+        # every view-1 timer has expired; nothing is lost.
+        holdbacks = (
+            Holdback(
+                src=0,
+                start=0.0,
+                end=round(timeout + 1.0, 3),
+                flush_delay=0.5,
+            ),
+        )
+
+    duplicates: list[DuplicateLink] = []
+    if rng.random() < 0.5:
+        duplicates.append(
+            DuplicateLink(
+                src=rng.randrange(spec.n) if rng.random() < 0.5 else None,
+                start=0.0,
+                end=round(rng.uniform(1.0, timeout + 2.0), 3),
+                prob=round(rng.uniform(0.3, 1.0), 3),
+                echo_delay=round(rng.uniform(0.0, spec.echo_max), 3),
+            )
+        )
+
+    jitters: list[ReorderJitter] = []
+    if spec.jitter_max > 0 and rng.random() < 0.5:
+        start = round(rng.uniform(0.0, 1.0), 3)
+        jitters.append(
+            ReorderJitter(
+                jitter=round(rng.uniform(0.0, spec.jitter_max), 3),
+                start=start,
+                end=start + round(rng.uniform(0.5, timeout), 3),
+            )
+        )
+
+    plan = FaultPlan(
+        duplicates=tuple(duplicates),
+        jitters=tuple(jitters),
+        leader_crashes=leader_crashes,
+        holdbacks=holdbacks,
+        seed=seed,
+    )
+    deadline = plan.quiet_time() + spec.slack
+    problems = plan.check_tolerated(n=spec.n, f=spec.f, deadline=deadline)
+    if problems:  # pragma: no cover - generator stays in bounds
+        raise AssertionError(
+            f"generator produced an untolerated plan: {problems}"
+        )
+    return plan.validate(spec.n)
+
+
 # ---------------------------------------------------------------------- #
 # execution
 # ---------------------------------------------------------------------- #
 
 
-def chaos_deadline(protocol: str, plan: FaultPlan) -> float:
+def chaos_deadline(
+    protocol: str,
+    plan: FaultPlan,
+    *,
+    tier: str = "good-case",
+    reliable: ReliableLink | None = None,
+) -> float:
     """Termination deadline for ``plan`` under ``protocol``'s spec."""
-    return plan.quiet_time() + CHAOS_SPECS[protocol].slack
+    return plan.quiet_time(reliable) + _spec_for(protocol, tier).slack
 
 
 def run_chaos_plan(
@@ -274,6 +409,8 @@ def run_chaos_plan(
     *,
     instrumentation: str = "perf",
     input_value: Any = "v",
+    tier: str = "good-case",
+    reliable: ReliableLink | None = None,
 ) -> dict:
     """Run one faulted execution with the full monitor battery attached.
 
@@ -282,13 +419,25 @@ def run_chaos_plan(
     :class:`~repro.errors.InvariantViolation` raised (commit-time
     monitors fire mid-run; termination fires in ``check_invariants``
     after the horizon drains).
+
+    ``tier`` selects the spec table and the liveness battery: the
+    ``"viewchange"`` tier replaces the plain deadline monitor with
+    :class:`~repro.sim.invariants.TerminationAfterGst` (GST = the
+    plan's quiet time) and adds
+    :class:`~repro.sim.invariants.ViewProgress`.  ``reliable`` attaches
+    a :class:`~repro.sim.retransmit.ReliableLink` policy to the world's
+    network and stretches the deadline by its retry tail.  Symbolic
+    :class:`~repro.sim.faults.CrashLeader` entries are resolved here
+    against the protocol's round-robin rotation (broadcaster 0).
     """
     from repro.sim.delays import FixedDelay, UniformDelay
     from repro.sim.runner import World
 
-    spec = CHAOS_SPECS[protocol]
+    spec = _spec_for(protocol, tier)
     cls = _protocol_class(protocol)
-    deadline = chaos_deadline(protocol, plan)
+    plan = plan.resolve_leaders(lambda view: (0 + view - 1) % spec.n)
+    quiet = plan.quiet_time(reliable)
+    deadline = quiet + spec.slack
     kwargs: dict[str, Any] = {}
     if spec.timing == "async":
         delay_policy = UniformDelay(0.0, 1.0, seed=plan.seed)
@@ -300,18 +449,40 @@ def run_chaos_plan(
     else:  # sync: the model's worst tolerated assignment
         delay_policy = FixedDelay(spec.big_delta)
         kwargs["big_delta"] = spec.big_delta
-    monitors = standard_monitors(
-        broadcaster=0,
-        expected=input_value,
-        deadline=deadline,
-        protocol=protocol,
-    )
+    if tier == "viewchange":
+        # Broadcaster-input validity is a *good-case* property: a
+        # holdback that starves the (honest) broadcaster through view 1
+        # is pre-GST asynchrony, under which a starved broadcaster is
+        # indistinguishable from a crashed one — the view-2 leader
+        # rightly proposes its own value.  Crashed broadcasters are
+        # already exempt via the faulty set; starved ones must lose the
+        # monitor explicitly.
+        starved = any(
+            h.src is None or h.src == 0 for h in plan.holdbacks
+        )
+        monitors = standard_monitors(
+            broadcaster=0,
+            expected=None if starved else input_value,
+            protocol=protocol,
+        )
+        monitors.append(TerminationAfterGst(gst=quiet, bound=spec.slack))
+        monitors.append(ViewProgress(max_view=VIEWCHANGE_MAX_VIEW))
+        for monitor in monitors:
+            monitor.protocol = protocol
+    else:
+        monitors = standard_monitors(
+            broadcaster=0,
+            expected=input_value,
+            deadline=deadline,
+            protocol=protocol,
+        )
     world = World(
         n=spec.n,
         f=spec.f,
         delay_policy=delay_policy,
         instrumentation=instrumentation,
         fault_plan=plan,
+        reliable_link=reliable,
         monitors=monitors,
         protocol_name=protocol,
     )
@@ -330,8 +501,17 @@ def run_chaos_plan(
             "time": exc.time,
         }
         result = world.result()
+    commit_views = sorted(
+        view
+        for view in (
+            getattr(agent, "commit_view", None)
+            for agent in world.agents.values()
+        )
+        if view is not None
+    )
     return {
         "protocol": protocol,
+        "tier": tier,
         "n": spec.n,
         "f": spec.f,
         "seed": plan.seed,
@@ -345,13 +525,45 @@ def run_chaos_plan(
         "partition_windows": result.partition_windows,
         "messages_sent": result.messages_sent,
         "commits": len(result.commits),
+        "commit_views": commit_views,
+        "max_commit_view": max(commit_views) if commit_views else None,
+        "retransmissions": result.retransmissions,
+        "acks_sent": result.acks_sent,
+        "retries_exhausted": result.retries_exhausted,
     }
 
 
 def _chaos_point(
-    *, protocol: str, seed: int, instrumentation: str = "perf"
+    *,
+    protocol: str,
+    seed: int,
+    instrumentation: str = "perf",
+    tier: str = "good-case",
 ) -> dict:
     """One grid point: generate a tolerated plan for ``seed``, run it."""
+    if tier == "viewchange":
+        plan = random_viewchange_plan(protocol, seed)
+        record = run_chaos_plan(
+            protocol, plan, instrumentation=instrumentation, tier=tier
+        )
+        # The tier's extra gate: forcing past view 1 must actually have
+        # *reached* view 2 — a commit in view 1 means the plan failed to
+        # disrupt and the run proved nothing.
+        if record["violation"] is None and (
+            record["max_commit_view"] is None
+            or record["max_commit_view"] < 2
+        ):
+            record["violation"] = {
+                "invariant": "viewchange-forced",
+                "details": (
+                    f"expected a commit in view >= 2, got commit views "
+                    f"{record['commit_views']}"
+                ),
+                "protocol": protocol,
+                "party": None,
+                "time": None,
+            }
+        return record
     plan = random_fault_plan(protocol, seed)
     return run_chaos_plan(protocol, plan, instrumentation=instrumentation)
 
@@ -362,6 +574,7 @@ def sweep_chaos(
     plans_per_protocol: int = 8,
     engine: SweepEngine | None = None,
     instrumentation: str = "perf",
+    tier: str = "good-case",
 ) -> list[dict]:
     """The chaos grid: seeded tolerated plans across the protocol specs.
 
@@ -370,20 +583,34 @@ def sweep_chaos(
     invariant battery attached, and reports the injection counters plus
     any violation.  A healthy tree returns rows with ``violation=None``
     everywhere — that is exactly what the CI smoke job asserts.
+
+    The ``"viewchange"`` tier sweeps only the psync protocols, with
+    plans that force a view change and the gate additionally demanding
+    a commit in view >= 2 (a surviving good case counts as a failure —
+    the plan was supposed to kill it).
     """
     engine = engine if engine is not None else SweepEngine()
-    names = protocols if protocols is not None else list(CHAOS_SPECS)
+    specs = (
+        CHAOS_SPECS_VIEWCHANGE if tier == "viewchange" else CHAOS_SPECS
+    )
+    names = protocols if protocols is not None else list(specs)
     for name in names:
-        if name not in CHAOS_SPECS:
+        if name not in specs:
             raise ValueError(
-                f"unknown chaos protocol {name!r}; "
-                f"expected one of {sorted(CHAOS_SPECS)}"
+                f"unknown chaos protocol {name!r} for tier {tier!r}; "
+                f"expected one of {sorted(specs)}"
             )
+    # Good-case task keys keep their pre-tier shape so the engine's
+    # per-key seed derivation (and with it every pinned sweep outcome)
+    # is unchanged.
+    key_tag = "chaos" if tier == "good-case" else f"chaos-{tier}"
     tasks = [
         SweepTask(
             _chaos_point,
-            dict(protocol=name, instrumentation=instrumentation),
-            key=("chaos", name, index),
+            dict(
+                protocol=name, instrumentation=instrumentation, tier=tier
+            ),
+            key=(key_tag, name, index),
             inject_seed=True,
         )
         for name in names
@@ -422,17 +649,181 @@ def shrink_plan(
 
 
 def shrink_failing_plan(
-    protocol: str, plan: FaultPlan, *, instrumentation: str = "perf"
+    protocol: str,
+    plan: FaultPlan,
+    *,
+    instrumentation: str = "perf",
+    tier: str = "good-case",
+    reliable: ReliableLink | None = None,
 ) -> FaultPlan:
     """Shrink against the real oracle: does the run still violate?"""
 
     def still_fails(candidate: FaultPlan) -> bool:
         record = run_chaos_plan(
-            protocol, candidate, instrumentation=instrumentation
+            protocol,
+            candidate,
+            instrumentation=instrumentation,
+            tier=tier,
+            reliable=reliable,
         )
         return record["violation"] is not None
 
     return shrink_plan(plan, still_fails)
+
+
+# ---------------------------------------------------------------------- #
+# committed regression reproducers
+# ---------------------------------------------------------------------- #
+
+
+def write_reproducer(
+    directory: str | Path,
+    *,
+    protocol: str,
+    plan: FaultPlan,
+    tier: str = "good-case",
+    reliable: ReliableLink | None = None,
+    expect: str = "clean",
+    note: str = "",
+) -> Path:
+    """Write one ready-to-commit reproducer file; returns its path.
+
+    The file is self-contained plain JSON — protocol, tier, the full
+    fault plan, the reliable-link policy (if any) and the expected
+    outcome (``"clean"`` or ``"violation"``) — so the regression corpus
+    (``tests/regressions/``) can replay it with :func:`run_reproducer`
+    years after the seed that found it stopped mattering.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "protocol": protocol,
+        "tier": tier,
+        "seed": plan.seed,
+        "plan": plan.to_json(),
+        "reliable": reliable.to_json() if reliable is not None else None,
+        "expect": expect,
+        "note": note,
+    }
+    path = directory / f"{protocol}-{tier}-seed{plan.seed}.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def load_reproducer(path: str | Path) -> dict:
+    """Parse one reproducer file back into runnable objects."""
+    data = json.loads(Path(path).read_text())
+    return {
+        "protocol": data["protocol"],
+        "tier": data.get("tier", "good-case"),
+        "plan": FaultPlan.from_json(data["plan"]),
+        "reliable": (
+            ReliableLink.from_json(data["reliable"])
+            if data.get("reliable")
+            else None
+        ),
+        "expect": data.get("expect", "clean"),
+        "note": data.get("note", ""),
+    }
+
+
+def run_reproducer(
+    path: str | Path, *, instrumentation: str = "perf"
+) -> dict:
+    """Replay one committed reproducer; ``ok`` means outcome == expect."""
+    repro = load_reproducer(path)
+    record = run_chaos_plan(
+        repro["protocol"],
+        repro["plan"],
+        instrumentation=instrumentation,
+        tier=repro["tier"],
+        reliable=repro["reliable"],
+    )
+    clean = record["violation"] is None
+    ok = clean == (repro["expect"] == "clean")
+    return {
+        "path": str(path),
+        "expect": repro["expect"],
+        "ok": ok,
+        "record": record,
+    }
+
+
+# ---------------------------------------------------------------------- #
+# curated smoke plans (CI gate)
+# ---------------------------------------------------------------------- #
+
+
+def viewchange_smoke_plans() -> list[tuple[str, FaultPlan]]:
+    """One pinned leader-crash plan per psync protocol (the CI gate).
+
+    Deliberately *not* drawn from :func:`random_viewchange_plan`: the
+    smoke gate's job is to pin the canonical scenario — view-1 leader
+    crash-stopped from t=0, every honest party commits in view 2 —
+    independent of generator evolution.
+    """
+    plan = FaultPlan(leader_crashes=(CrashLeader(view=1),), seed=7)
+    return [(name, plan) for name in sorted(CHAOS_SPECS_VIEWCHANGE)]
+
+
+def run_viewchange_smoke(*, instrumentation: str = "perf") -> dict:
+    """Run the pinned view-change plans; gate on commit in view >= 2."""
+    rows = []
+    failures = []
+    for protocol, plan in viewchange_smoke_plans():
+        record = run_chaos_plan(
+            protocol, plan, instrumentation=instrumentation,
+            tier="viewchange",
+        )
+        rows.append(record)
+        if record["violation"] is not None:
+            failures.append(record)
+        elif (
+            record["max_commit_view"] is None
+            or record["max_commit_view"] < 2
+        ):
+            failures.append(record)
+    return {"rows": rows, "failures": failures, "ok": not failures}
+
+
+#: The smoke/demo retry policy: its 7.125-time-unit tail outlives the
+#: demo's 4.0-long total-loss window, so the last retry of even a t=0
+#: send lands after the drops stop.
+RELIABLE_DEMO_LINK = ReliableLink(rto=1.5, backoff=1.5, max_retries=3)
+
+#: Total inbound loss for one honest brb_2round party, long enough to
+#: swallow every good-case message.  Untolerated without retransmission
+#: (``check_tolerated`` rejects it), survivable with the demo link.
+RELIABLE_DEMO_PLAN = FaultPlan(
+    drops=(DropLink(dst=3, start=0.0, end=4.0, prob=1.0),), seed=11
+)
+
+
+def run_reliable_drop_demo(*, instrumentation: str = "perf") -> dict:
+    """The retransmission payoff, as an executable pair of runs.
+
+    The same honest-link total-loss plan runs twice over ``brb_2round``:
+    bare (the victim never hears anything — termination violation, the
+    loss the old model simply declared untolerated) and with
+    :data:`RELIABLE_DEMO_LINK` attached (the retry tail outlives the
+    window; the victim commits).  ``ok`` asserts exactly that contrast.
+    """
+    without = run_chaos_plan(
+        "brb_2round", RELIABLE_DEMO_PLAN, instrumentation=instrumentation
+    )
+    with_link = run_chaos_plan(
+        "brb_2round",
+        RELIABLE_DEMO_PLAN,
+        instrumentation=instrumentation,
+        reliable=RELIABLE_DEMO_LINK,
+    )
+    ok = (
+        without["violation"] is not None
+        and without["violation"]["invariant"] == "termination"
+        and with_link["violation"] is None
+        and with_link["retransmissions"] > 0
+    )
+    return {"without": without, "with": with_link, "ok": ok}
 
 
 # ---------------------------------------------------------------------- #
@@ -448,30 +839,75 @@ def run_chaos(
     instrumentation: str = "perf",
     base_seed: int = 0,
     shrink: bool = True,
+    tiers: tuple[str, ...] = ("good-case",),
+    emit_dir: str | None = None,
 ) -> dict:
     """Run the chaos sweep and summarize (the ``repro chaos`` command).
 
     Returns ``{"rows": [...], "violations": [...], "plans": N}``; each
     violation entry carries the shrunk minimal reproducer (as plain
-    primitive reprs) when ``shrink`` is on.
+    primitive reprs) when ``shrink`` is on.  With ``emit_dir`` set,
+    every shrunk reproducer is additionally written there as a
+    ready-to-commit regression file (``expect: "clean"`` — the corpus
+    asserts the plan stays clean once the bug it found is fixed).
     """
-    engine = SweepEngine(workers=workers, base_seed=base_seed)
-    rows = sweep_chaos(
-        protocols=protocols,
-        plans_per_protocol=plans_per_protocol,
-        engine=engine,
-        instrumentation=instrumentation,
-    )
+    rows: list[dict] = []
+    for tier in tiers:
+        engine = SweepEngine(workers=workers, base_seed=base_seed)
+        names = protocols
+        if tier == "viewchange" and protocols is not None:
+            names = [
+                name for name in protocols
+                if name in CHAOS_SPECS_VIEWCHANGE
+            ]
+            if not names:
+                continue
+        rows.extend(
+            sweep_chaos(
+                protocols=names,
+                plans_per_protocol=plans_per_protocol,
+                engine=engine,
+                instrumentation=instrumentation,
+                tier=tier,
+            )
+        )
     violations = []
     for row in rows:
         if row["violation"] is None:
             continue
         entry = dict(row)
         if shrink:
-            plan = random_fault_plan(row["protocol"], row["seed"])
-            minimal = shrink_failing_plan(
-                row["protocol"], plan, instrumentation=instrumentation
-            )
+            tier = row.get("tier", "good-case")
+            if tier == "viewchange":
+                plan = random_viewchange_plan(row["protocol"], row["seed"])
+            else:
+                plan = random_fault_plan(row["protocol"], row["seed"])
+            try:
+                minimal = shrink_failing_plan(
+                    row["protocol"],
+                    plan,
+                    instrumentation=instrumentation,
+                    tier=tier,
+                )
+            except ValueError:
+                # The monitor battery alone did not reproduce (e.g. the
+                # viewchange tier's commit-in-view>=2 gate fired): keep
+                # the full plan as the reproducer.
+                minimal = plan
             entry["minimal_plan"] = [repr(p) for p in minimal.primitives()]
+            if emit_dir is not None:
+                path = write_reproducer(
+                    emit_dir,
+                    protocol=row["protocol"],
+                    plan=minimal,
+                    tier=tier,
+                    expect="clean",
+                    note=(
+                        f"nightly chaos violation "
+                        f"[{row['violation']['invariant']}]: "
+                        f"{row['violation']['details']}"
+                    ),
+                )
+                entry["reproducer"] = str(path)
         violations.append(entry)
     return {"rows": rows, "violations": violations, "plans": len(rows)}

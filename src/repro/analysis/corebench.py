@@ -170,6 +170,12 @@ def measure_one(
         # carries a plan is visible in the tracked rows (0s otherwise).
         "faults_injected": meas.result.faults_injected,
         "messages_dropped": meas.result.messages_dropped,
+        # Reliable-channel counters: all 0 on tracked runs (the channel
+        # is opt-in and benches run without it); a nonzero here means a
+        # bench configuration grew a link policy.
+        "retransmissions": meas.result.retransmissions,
+        "acks_sent": meas.result.acks_sent,
+        "retries_exhausted": meas.result.retries_exhausted,
     }
     if profile:
         # One extra rep under cProfile: the top-20 cumulative entries are

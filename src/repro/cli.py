@@ -118,16 +118,30 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
-    from repro.analysis.chaos import CHAOS_SPECS, run_chaos
+    from repro.analysis.chaos import (
+        CHAOS_SPECS,
+        CHAOS_TIERS,
+        run_chaos,
+        run_reliable_drop_demo,
+        run_viewchange_smoke,
+    )
 
-    plans = 8 if args.smoke else args.plans
+    if args.deep:
+        plans = args.plans if args.plans is not None else 200
+    elif args.smoke:
+        plans = 8
+    else:
+        plans = args.plans if args.plans is not None else 16
     protocols = args.protocols.split(",") if args.protocols else None
+    tiers = CHAOS_TIERS if args.deep else ("good-case",)
     summary = run_chaos(
         plans_per_protocol=plans,
         protocols=protocols,
         workers=args.workers,
         instrumentation=args.instrumentation,
         base_seed=args.base_seed,
+        tiers=tiers,
+        emit_dir=args.emit_reproducers,
     )
     by_protocol: dict[str, int] = {}
     injected = 0
@@ -138,11 +152,39 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     print(
         f"chaos: {summary['plans']} fault plans across "
         f"{len(by_protocol)} protocols ({', '.join(names)})"
+        + (f" [tiers: {', '.join(tiers)}]" if len(tiers) > 1 else "")
     )
     print(f"faults injected: {injected}")
+    failed = False
+    if args.smoke or args.deep:
+        # View-change gate: every psync protocol must commit in view >= 2
+        # under the pinned leader-crash plan, with zero violations.
+        vc = run_viewchange_smoke(instrumentation=args.instrumentation)
+        views = {
+            row["protocol"]: row["max_commit_view"] for row in vc["rows"]
+        }
+        print(f"view-change smoke: commit views {views}")
+        if not vc["ok"]:
+            failed = True
+            for row in vc["failures"]:
+                print(
+                    f"  FAIL {row['protocol']}: violation="
+                    f"{row['violation']} views={row['commit_views']}"
+                )
+        # Retransmission gate: an honest-link total-loss plan must kill
+        # termination bare and survive with the reliable channel on.
+        demo = run_reliable_drop_demo(instrumentation=args.instrumentation)
+        print(
+            "reliable-drop demo: without="
+            f"{demo['without']['violation'] and demo['without']['violation']['invariant']}"
+            f" with=clean retransmissions={demo['with']['retransmissions']}"
+        )
+        if not demo["ok"]:
+            failed = True
+            print(f"  FAIL reliable-drop demo: {demo}")
     if not summary["violations"]:
         print("invariant violations: 0")
-        return 0
+        return 1 if failed else 0
     print(f"invariant violations: {len(summary['violations'])}")
     for entry in summary["violations"]:
         v = entry["violation"]
@@ -152,6 +194,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         )
         for line in entry.get("minimal_plan", []):
             print(f"    minimal: {line}")
+        if "reproducer" in entry:
+            print(f"    reproducer: {entry['reproducer']}")
     return 1
 
 
@@ -252,11 +296,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--smoke", action="store_true",
-        help="the CI gate: 8 plans per protocol (56 total), <60s",
+        help="the CI gate: 8 plans per protocol (56 total) plus the "
+        "view-change and retransmission smoke checks, <60s",
     )
     p.add_argument(
-        "--plans", type=int, default=16,
-        help="fault plans per protocol (ignored with --smoke)",
+        "--deep", action="store_true",
+        help="the nightly sweep: both tiers (good-case + viewchange), "
+        "200 plans per protocol by default",
+    )
+    p.add_argument(
+        "--plans", type=int, default=None,
+        help="fault plans per protocol (default: 16; 200 with --deep; "
+        "ignored with --smoke)",
+    )
+    p.add_argument(
+        "--emit-reproducers", dest="emit_reproducers", default=None,
+        help="write each shrunk failing plan to this directory as a "
+        "ready-to-commit regression reproducer (JSON)",
     )
     p.add_argument(
         "--protocols", default=None,

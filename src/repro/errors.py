@@ -97,7 +97,21 @@ class IntegrityViolation(InvariantViolation):
 
 
 class TerminationViolation(InvariantViolation):
-    """A protocol failed to terminate within the simulation horizon."""
+    """A protocol failed to terminate within the simulation horizon.
+
+    ``invariant`` defaults to ``"termination"``; deadline monitors with a
+    sharper contract (e.g. termination-after-GST) override it so triage
+    records which liveness property actually broke.
+    """
+
+    def __init__(
+        self, details: str, *, invariant: str = "termination", **context
+    ):
+        super().__init__(invariant, details, **context)
+
+
+class ViewProgressViolation(InvariantViolation):
+    """A party's view number regressed or exceeded the disruption budget."""
 
     def __init__(self, details: str, **context):
-        super().__init__("termination", details, **context)
+        super().__init__("view-progress", details, **context)

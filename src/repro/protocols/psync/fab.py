@@ -80,11 +80,28 @@ class FabPsync(BroadcastParty):
         return (self.broadcaster + view - 1) % self.n
 
     def on_start(self) -> None:
+        self.note_view(1)
         self._arm_view_timer(1)
         if self.is_broadcaster:
             self.multicast(
                 self.signer.sign((PROPOSE, self.input_value, 1, None))
             )
+
+    def on_recover(self) -> None:
+        """Back from a crash window: restore view-timer liveness.
+
+        A timeout that fired while down left ``_timed_out`` marked but
+        its VIEWCHANGE multicast suppressed — re-announce it; otherwise
+        re-arm the (stale) view timer from the current instant.
+        """
+        if self.terminated or self.has_committed:
+            return
+        view = self.current_view
+        if view in self._timed_out:
+            reported = self.latest_vote[0] if self.latest_vote else None
+            self.multicast(self.signer.sign((VIEWCHANGE, view, reported)))
+        else:
+            self._arm_view_timer(view)
 
     def on_message(self, sender: PartyId, payload: Any) -> None:
         if isinstance(payload, SignedPayload):
@@ -240,6 +257,7 @@ class FabPsync(BroadcastParty):
 
     def _enter_view(self, view: int) -> None:
         self.current_view = view
+        self.note_view(view)
         self._arm_view_timer(view)
         if self.leader_of(view) == self.id:
             self._propose_new_view(view)

@@ -90,10 +90,28 @@ class PbftPsync(BroadcastParty):
     # ------------------------------------------------------------------ #
 
     def on_start(self) -> None:
+        self.note_view(1)
         self._arm_view_timer(1)
         if self.is_broadcaster:
             proposal = self.signer.sign((PROPOSE, self.input_value, 1, None))
             self.multicast(proposal)
+
+    def on_recover(self) -> None:
+        """Back from a crash window: restore view-timer liveness.
+
+        Timers fired while down leave ``_timed_out`` marked but their
+        VIEWCHANGE multicast suppressed — without re-announcing it here
+        the recovered party never rejoins the view change.  Otherwise
+        the pending timer (armed pre-crash from a stale local instant)
+        is re-armed from *now*.
+        """
+        if self.terminated or self.has_committed:
+            return
+        view = self.current_view
+        if view in self._timed_out:
+            self.multicast(self.signer.sign((VIEWCHANGE, view, self.prepared)))
+        else:
+            self._arm_view_timer(view)
 
     def on_message(self, sender: PartyId, payload: Any) -> None:
         if isinstance(payload, SignedPayload):
@@ -303,6 +321,7 @@ class PbftPsync(BroadcastParty):
 
     def _enter_view(self, view: int) -> None:
         self.current_view = view
+        self.note_view(view)
         self._arm_view_timer(view)
         if self.leader_of(view) == self.id:
             self._propose_new_view(view)

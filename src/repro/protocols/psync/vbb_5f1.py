@@ -130,11 +130,36 @@ class PsyncVbb5f1(BroadcastParty):
     # ------------------------------------------------------------------ #
 
     def on_start(self) -> None:
+        self.note_view(1)
         self._arm_view_timer(1)
         if self.leader_of(1) == self.id and self.is_broadcaster:
             pair = make_leader_pair(self.signer, self.input_value, 1)
             proposal = self.signer.sign((PROPOSE, pair, BOTTOM))
             self.multicast(proposal)
+
+    def on_recover(self) -> None:
+        """Back from a crash window: restore view-timer liveness.
+
+        A timeout that fired while down left ``_timed_out`` marked but
+        its TIMEOUT multicast suppressed — re-announce the same entry;
+        otherwise re-arm the (stale) view timer from the current
+        instant.
+        """
+        if self.terminated or self.has_committed:
+            return
+        view = self.current_view
+        if view in self._timed_out:
+            if view in self._voted_pair:
+                entry = self._voted_pair[view]
+            else:
+                entry = make_bottom_entry(
+                    self.signer,
+                    view,
+                    pair=self.shared_payload((VAL, BOTTOM, view)),
+                )
+            self.multicast((TIMEOUT, view, entry))
+        else:
+            self._arm_view_timer(view)
 
     def on_message(self, sender: PartyId, payload: Any) -> None:
         if isinstance(payload, SignedPayload):
@@ -459,6 +484,7 @@ class PsyncVbb5f1(BroadcastParty):
 
     def _enter_view(self, view: int) -> None:
         self.current_view = view
+        self.note_view(view)
         self._arm_view_timer(view)
         status_msg = self.signer.sign(
             self.shared_payload((STATUS, view - 1, self.highest_cert))

@@ -44,13 +44,20 @@ Primitives
                     uses: a copy sent inside a window is delayed
                     adversarially but arrives within ``bound`` of the
                     window's end — the GST guarantee, repeated
+:class:`CrashLeader`  *symbolic* crash of whichever party leads a given
+                    protocol view; resolved to a concrete
+                    :class:`Crash` via
+                    :meth:`FaultPlan.resolve_leaders` before injection
+:class:`Holdback`   copies sent on matching links during the window are
+                    *held* until it closes (delayed, never lost) — the
+                    view-change tier's leader-starvation primitive
 ==================  =====================================================
 """
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Iterable
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable
 
 from repro.errors import FaultPlanError
 from repro.types import INF, PartyId
@@ -196,6 +203,51 @@ class GstChurn:
 
 
 @dataclass(frozen=True)
+class CrashLeader:
+    """Crash whichever party leads protocol view ``view``.
+
+    A *symbolic* crash: the concrete party id depends on the protocol's
+    leader rotation, so the chaos harness resolves it with
+    :meth:`FaultPlan.resolve_leaders` (passing the protocol's
+    ``leader_of``) before building an injector.  ``at=0.0`` by default —
+    the leader must be down before its view-1 proposal leaves, or the
+    good case commits under it and no view change is forced.  An
+    unresolved plan is rejected by :class:`FaultInjector`; symbolic
+    faults cannot route messages.
+    """
+
+    view: int
+    at: float = 0.0
+    recover: float = INF
+
+    def resolve(self, leader_of: "Callable[[int], PartyId]") -> Crash:
+        return Crash(
+            party=leader_of(self.view), at=self.at, recover=self.recover
+        )
+
+
+@dataclass(frozen=True)
+class Holdback:
+    """Copies sent on matching links in the window are held, not lost.
+
+    Every copy *sent* during ``[start, end)`` on a matching link is
+    retimed to ``end + U[0, flush_delay]`` when that is later than its
+    natural delivery.  Unlike :class:`DropLink` nothing is lost, so the
+    primitive stays inside the partial-synchrony model while still
+    starving a view of its leader's messages long enough to expire view
+    timers — forcing a view change without spending crash budget.
+    """
+
+    src: PartyId | None = None
+    dst: PartyId | None = None
+    start: float = 0.0
+    end: float = 5.0
+    flush_delay: float = 0.0
+
+    matches = DropLink.matches
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """A declarative, seeded schedule of fault primitives.
 
@@ -215,6 +267,8 @@ class FaultPlan:
     jitters: tuple[ReorderJitter, ...] = ()
     partitions: tuple[Partition, ...] = ()
     churns: tuple[GstChurn, ...] = ()
+    leader_crashes: tuple[CrashLeader, ...] = ()
+    holdbacks: tuple[Holdback, ...] = ()
     seed: int = 0
 
     # ------------------------------------------------------------------ #
@@ -226,12 +280,14 @@ class FaultPlan:
         return [
             *self.crashes, *self.drops, *self.duplicates,
             *self.jitters, *self.partitions, *self.churns,
+            *self.leader_crashes, *self.holdbacks,
         ]
 
     def __len__(self) -> int:
         return (
             len(self.crashes) + len(self.drops) + len(self.duplicates)
             + len(self.jitters) + len(self.partitions) + len(self.churns)
+            + len(self.leader_crashes) + len(self.holdbacks)
         )
 
     def is_empty(self) -> bool:
@@ -262,21 +318,58 @@ class FaultPlan:
             jitters=drop_one(self.jitters),
             partitions=drop_one(self.partitions),
             churns=drop_one(self.churns),
+            leader_crashes=drop_one(self.leader_crashes),
+            holdbacks=drop_one(self.holdbacks),
             seed=self.seed,
         )
 
-    def quiet_time(self) -> float:
+    def resolve_leaders(
+        self, leader_of: "Callable[[int], PartyId]"
+    ) -> "FaultPlan":
+        """Concretize symbolic :class:`CrashLeader` entries.
+
+        ``leader_of`` maps a view number to the party that leads it
+        (the protocol's rotation).  Returns a plan whose leader crashes
+        are folded into ``crashes``; without any, ``self`` unchanged.
+        """
+        if not self.leader_crashes:
+            return self
+        resolved = tuple(
+            lc.resolve(leader_of) for lc in self.leader_crashes
+        )
+        return replace(
+            self, crashes=self.crashes + resolved, leader_crashes=()
+        )
+
+    def quiet_time(self, reliable: object = None) -> float:
         """Earliest instant after which the plan injects nothing more.
 
         Crash-stop windows (``recover=INF``) do not push this out — a
         permanently crashed party is spent budget, not pending churn.
+
+        With a :class:`~repro.sim.retransmit.ReliableLink` policy in
+        play, disruption windows grow a *tail*: a copy first sent just
+        before a window closes keeps retrying for up to
+        ``reliable.backoff_tail()`` afterwards, so every finite window
+        (drops, recovering crashes, churn, partitions, holdbacks)
+        extends by that tail before the run is truly quiet.
         """
+        tail = (
+            reliable.backoff_tail()  # type: ignore[attr-defined]
+            if reliable is not None else 0.0
+        )
         quiet = 0.0
         for c in self.crashes:
-            quiet = max(quiet, c.recover if c.recover != INF else c.at)
+            quiet = max(
+                quiet, c.recover + tail if c.recover != INF else c.at
+            )
+        for lc in self.leader_crashes:
+            quiet = max(
+                quiet, lc.recover + tail if lc.recover != INF else lc.at
+            )
         for d in self.drops:
             if d.end != INF:
-                quiet = max(quiet, d.end)
+                quiet = max(quiet, d.end + tail)
         for d in self.duplicates:
             if d.end != INF:
                 quiet = max(quiet, d.end + d.echo_delay)
@@ -284,10 +377,13 @@ class FaultPlan:
             if j.end != INF:
                 quiet = max(quiet, j.end + j.jitter)
         for p in self.partitions:
-            quiet = max(quiet, p.end + p.flush_delay)
+            quiet = max(quiet, p.end + p.flush_delay + tail)
+        for h in self.holdbacks:
+            if h.end != INF:
+                quiet = max(quiet, h.end + h.flush_delay + tail)
         for ch in self.churns:
             for _, b in ch.windows:
-                quiet = max(quiet, b + ch.bound)
+                quiet = max(quiet, b + ch.bound + tail)
         return quiet
 
     # ------------------------------------------------------------------ #
@@ -356,30 +452,57 @@ class FaultPlan:
             for a, b in ch.windows:
                 check_window(a, b, ch)
                 _require(b != INF, "churn window never closes", ch)
+        for lc in self.leader_crashes:
+            _require(lc.view >= 1, f"leader view {lc.view} < 1", lc)
+            _require(lc.at >= 0, f"crash time {lc.at} < 0", lc)
+            _require(
+                lc.recover > lc.at,
+                f"recover {lc.recover} not after crash {lc.at}", lc,
+            )
+        for h in self.holdbacks:
+            check_party(h.src, h)
+            check_party(h.dst, h)
+            check_window(h.start, h.end, h)
+            _require(h.end != INF, "holdback never releases", h)
+            _require(
+                h.flush_delay >= 0, f"flush delay {h.flush_delay} < 0", h
+            )
         return self
 
     def check_tolerated(
-        self, *, n: int, f: int, deadline: float
+        self, *, n: int, f: int, deadline: float, reliable: object = None
     ) -> list[str]:
         """Why this plan exceeds the tolerated fault bounds (empty = ok).
 
-        Tolerated means: at most ``f`` distinct crashed parties; every
-        partition healed (flush included) before ``deadline``; every
+        Tolerated means: at most ``f`` distinct crashed parties
+        (symbolic leader crashes count one per distinct view — worst
+        case every resolved leader is distinct); every partition and
+        holdback released (flush included) before ``deadline``; every
         churn window resolved before ``deadline``; message *loss* only
-        on links out of (or into) already-faulty parties — this
-        simulator never retransmits, so an honest-to-honest drop is
-        outside every model's guarantee.
+        on links out of (or into) already-faulty parties — *unless* a
+        :class:`~repro.sim.retransmit.ReliableLink` policy is attached
+        whose retry tail outlives the drop window, in which case a
+        finite honest-link drop window becomes survivable delay.
         """
         problems: list[str] = []
         crashed = self.crashed_parties()
-        if len(crashed) > f:
+        crash_budget = len(crashed) + len(
+            {lc.view for lc in self.leader_crashes}
+        )
+        if crash_budget > f:
             problems.append(
-                f"{len(crashed)} crashed parties exceeds budget f={f}"
+                f"{crash_budget} crashed parties exceeds budget f={f}"
             )
         for p in self.partitions:
             if p.end + p.flush_delay >= deadline:
                 problems.append(
                     f"partition heals at {p.end + p.flush_delay}, "
+                    f"after deadline {deadline}"
+                )
+        for h in self.holdbacks:
+            if h.end + h.flush_delay >= deadline:
+                problems.append(
+                    f"holdback releases at {h.end + h.flush_delay}, "
                     f"after deadline {deadline}"
                 )
         for ch in self.churns:
@@ -390,14 +513,139 @@ class FaultPlan:
                         f"after deadline {deadline}"
                     )
         for d in self.drops:
-            if d.prob > 0 and not (
-                d.src in crashed or d.dst in crashed
+            if d.prob <= 0 or d.src in crashed or d.dst in crashed:
+                continue
+            if (
+                reliable is not None
+                and d.end != INF
+                and reliable.backoff_tail()  # type: ignore[attr-defined]
+                > d.end - d.start
             ):
-                problems.append(
-                    f"drop on honest link {d.src}->{d.dst} "
-                    "(no retransmission: honest loss is untolerated)"
-                )
+                # Retransmission outlives the window: a copy sent at
+                # the window's open still gets a post-window retry.
+                continue
+            problems.append(
+                f"drop on honest link {d.src}->{d.dst} "
+                "(no retransmission: honest loss is untolerated)"
+            )
         return problems
+
+    # ------------------------------------------------------------------ #
+    # serialization (committed regression reproducers)
+    # ------------------------------------------------------------------ #
+
+    def to_json(self) -> dict:
+        """Plain-data form, JSON-safe (``INF`` encodes as ``"inf"``)."""
+
+        def enc(x: float):
+            return "inf" if x == INF else x
+
+        return {
+            "crashes": [
+                {"party": c.party, "at": c.at, "recover": enc(c.recover)}
+                for c in self.crashes
+            ],
+            "drops": [
+                {"src": d.src, "dst": d.dst, "start": d.start,
+                 "end": enc(d.end), "prob": d.prob}
+                for d in self.drops
+            ],
+            "duplicates": [
+                {"src": d.src, "dst": d.dst, "start": d.start,
+                 "end": enc(d.end), "prob": d.prob,
+                 "echo_delay": d.echo_delay}
+                for d in self.duplicates
+            ],
+            "jitters": [
+                {"jitter": j.jitter, "src": j.src, "dst": j.dst,
+                 "start": j.start, "end": enc(j.end)}
+                for j in self.jitters
+            ],
+            "partitions": [
+                {"groups": [list(g) for g in p.groups],
+                 "start": p.start, "end": p.end,
+                 "flush_delay": p.flush_delay}
+                for p in self.partitions
+            ],
+            "churns": [
+                {"windows": [list(w) for w in ch.windows],
+                 "bound": ch.bound}
+                for ch in self.churns
+            ],
+            "leader_crashes": [
+                {"view": lc.view, "at": lc.at, "recover": enc(lc.recover)}
+                for lc in self.leader_crashes
+            ],
+            "holdbacks": [
+                {"src": h.src, "dst": h.dst, "start": h.start,
+                 "end": enc(h.end), "flush_delay": h.flush_delay}
+                for h in self.holdbacks
+            ],
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "FaultPlan":
+        """Inverse of :meth:`to_json` (round-trips exactly)."""
+
+        def dec(x) -> float:
+            return INF if x == "inf" else float(x)
+
+        return cls(
+            crashes=tuple(
+                Crash(party=c["party"], at=float(c["at"]),
+                      recover=dec(c["recover"]))
+                for c in data.get("crashes", ())
+            ),
+            drops=tuple(
+                DropLink(src=d["src"], dst=d["dst"],
+                         start=float(d["start"]), end=dec(d["end"]),
+                         prob=float(d["prob"]))
+                for d in data.get("drops", ())
+            ),
+            duplicates=tuple(
+                DuplicateLink(src=d["src"], dst=d["dst"],
+                              start=float(d["start"]), end=dec(d["end"]),
+                              prob=float(d["prob"]),
+                              echo_delay=float(d["echo_delay"]))
+                for d in data.get("duplicates", ())
+            ),
+            jitters=tuple(
+                ReorderJitter(jitter=float(j["jitter"]), src=j["src"],
+                              dst=j["dst"], start=float(j["start"]),
+                              end=dec(j["end"]))
+                for j in data.get("jitters", ())
+            ),
+            partitions=tuple(
+                Partition(
+                    groups=tuple(tuple(g) for g in p["groups"]),
+                    start=float(p["start"]), end=float(p["end"]),
+                    flush_delay=float(p["flush_delay"]),
+                )
+                for p in data.get("partitions", ())
+            ),
+            churns=tuple(
+                GstChurn(
+                    windows=tuple(
+                        (float(a), float(b)) for a, b in ch["windows"]
+                    ),
+                    bound=float(ch["bound"]),
+                )
+                for ch in data.get("churns", ())
+            ),
+            leader_crashes=tuple(
+                CrashLeader(view=lc["view"], at=float(lc["at"]),
+                            recover=dec(lc["recover"]))
+                for lc in data.get("leader_crashes", ())
+            ),
+            holdbacks=tuple(
+                Holdback(src=h["src"], dst=h["dst"],
+                         start=float(h["start"]), end=dec(h["end"]),
+                         flush_delay=float(h["flush_delay"]))
+                for h in data.get("holdbacks", ())
+            ),
+            seed=int(data.get("seed", 0)),
+        )
 
 
 class CrashWindow:
@@ -462,6 +710,12 @@ class FaultInjector:
 
     def __init__(self, plan: FaultPlan, *, n: int) -> None:
         plan.validate(n)
+        if plan.leader_crashes:
+            raise FaultPlanError(
+                "plan has unresolved symbolic leader crashes; call "
+                "plan.resolve_leaders(leader_of) before injection",
+                primitive=plan.leader_crashes[0],
+            )
         self.plan = plan
         self.n = n
         self.counters = FaultCounters()
@@ -536,7 +790,7 @@ class FaultInjector:
 
         ``[]`` drops the copy; one entry is a (possibly retimed) normal
         delivery; two entries add a duplicate echo.  Applied in a fixed
-        primitive order (drop, churn, jitter, partition hold,
+        primitive order (drop, churn, jitter, holdback, partition hold,
         duplicate) so the RNG stream is a pure function of the schedule.
         """
         counters = self.counters
@@ -561,6 +815,13 @@ class FaultInjector:
             if jitter.matches(sender, recipient, send_time):
                 counters.faults_injected += 1
                 deliver_time += rng.random() * jitter.jitter
+        for hold in self.plan.holdbacks:
+            if hold.matches(sender, recipient, send_time):
+                release = hold.end + rng.random() * hold.flush_delay
+                if release > deliver_time:
+                    counters.faults_injected += 1
+                    counters.messages_held += 1
+                    deliver_time = release
         for partition in self.plan.partitions:
             if partition.separates(sender, recipient, deliver_time):
                 counters.faults_injected += 1

@@ -155,6 +155,18 @@ class Instrumentation:
             for monitor in self.monitors:
                 monitor.on_commit_conflict(party_id, old, new, time)
 
+    def note_view_change(
+        self, party_id: PartyId, view: int, time: float | None = None
+    ) -> None:
+        """A party entered protocol view ``view`` (view-change machinery).
+
+        Pure monitor dispatch: with no monitors attached this is one
+        truthiness test, so the good-case hot path pays nothing.
+        """
+        if self.monitors:
+            for monitor in self.monitors:
+                monitor.on_view(party_id, view, time)
+
     def attach_monitor(self, monitor: Any) -> None:
         """Subscribe a runtime invariant monitor to commit events."""
         self.monitors.append(monitor)

@@ -34,6 +34,7 @@ from repro.errors import (
     IntegrityViolation,
     TerminationViolation,
     ValidityViolation,
+    ViewProgressViolation,
 )
 from repro.types import PartyId, Value
 
@@ -72,6 +73,9 @@ class InvariantMonitor:
         self, party: PartyId, old: Value, new: Value, time: float
     ) -> None:
         """Called when a party re-commits with a different value."""
+
+    def on_view(self, party: PartyId, view: int, time: float) -> None:
+        """Called when a party enters a protocol view (view change)."""
 
     def finalize(self, world: "World") -> None:
         """End-of-run check (liveness properties live here)."""
@@ -196,11 +200,79 @@ class TerminationMonitor(InvariantMonitor):
             raise TerminationViolation(
                 f"by deadline {self.deadline}: "
                 f"never committed {missing}, committed late {late}",
+                invariant=self.invariant,
                 protocol=self.protocol,
                 party=(missing or [p for p, _ in late])[0],
                 time=self.deadline,
                 trace=self.trace,
             )
+
+
+class TerminationAfterGst(TerminationMonitor):
+    """Every non-faulty party commits within ``bound`` after GST.
+
+    The partially-synchronous liveness property: before GST the
+    adversary controls delays, so no deadline applies; after GST the
+    protocol must commit within a protocol-dependent bound (view
+    timeouts + a constant number of message delays).  Mechanically this
+    is :class:`TerminationMonitor` with ``deadline = gst + bound``, but
+    the distinct invariant name keeps chaos triage honest about *which*
+    property a run broke.
+    """
+
+    invariant = "termination-after-gst"
+
+    def __init__(self, *, gst: float, bound: float) -> None:
+        super().__init__(deadline=gst + bound)
+        self.gst = gst
+        self.bound = bound
+
+
+class ViewProgress(InvariantMonitor):
+    """Views move forward and stay within the disruption budget.
+
+    Two checks per non-faulty party:
+
+    * **monotonicity** — a party never re-enters a lower view than one
+      it already reached (view numbers only grow);
+    * **boundedness** — no party climbs past ``max_view``, the highest
+      view the run's fault budget justifies (crashed leaders + one).
+      Runaway views mean timers fire when they should not — a liveness
+      bug that plain termination monitors only catch indirectly.
+    """
+
+    invariant = "view-progress"
+
+    def __init__(self, *, max_view: int) -> None:
+        super().__init__()
+        self.max_view = max_view
+        self._views: dict[PartyId, int] = {}
+
+    def on_view(self, party: PartyId, view: int, time: float) -> None:
+        if party in self.faulty:
+            return
+        previous = self._views.get(party)
+        if previous is not None and view < previous:
+            self.trace.append(("view", party, view, time))
+            raise ViewProgressViolation(
+                f"party {party} regressed from view {previous} to "
+                f"view {view} at t={time}",
+                protocol=self.protocol,
+                party=party,
+                time=time,
+                trace=self.trace,
+            )
+        if view > self.max_view:
+            self.trace.append(("view", party, view, time))
+            raise ViewProgressViolation(
+                f"party {party} entered view {view} at t={time}, past "
+                f"the disruption budget max_view={self.max_view}",
+                protocol=self.protocol,
+                party=party,
+                time=time,
+                trace=self.trace,
+            )
+        self._views[party] = view
 
 
 def standard_monitors(

@@ -40,6 +40,7 @@ from repro.types import INF, PartyId
 if TYPE_CHECKING:
     from repro.sim.faults import FaultInjector
     from repro.sim.instrumentation import Instrumentation
+    from repro.sim.retransmit import ReliableLink, _Transfer
 
 #: Delivery callback: (sender, payload) -> None
 DeliverFn = Callable[[PartyId, Any], None]
@@ -69,6 +70,7 @@ class Network:
         start_offsets: list[float] | None = None,
         instrumentation: "Instrumentation | None" = None,
         fault_injector: "FaultInjector | None" = None,
+        reliable_link: "ReliableLink | None" = None,
     ):
         self._sim = sim
         self._policy = policy
@@ -77,6 +79,17 @@ class Network:
         # branch below is a single is-None test — the no-fault path
         # stays byte-identical to a build without fault injection.
         self._injector = fault_injector
+        # Opt-in reliable channel (ack + bounded-backoff retransmission):
+        # like the injector, ``None`` when unused, and its presence forces
+        # the per-copy path (registration and ack happen per copy).
+        if reliable_link is not None:
+            from repro.sim.retransmit import ReliableChannel
+
+            self._reliable = ReliableChannel(
+                reliable_link, sim, self._retransmit
+            )
+        else:
+            self._reliable = None
         self._n = n
         self._byzantine = byzantine
         self._start_offsets = start_offsets or [0.0] * n
@@ -216,6 +229,7 @@ class Network:
             self._batch_runs
             and self._common_offset is not None
             and injector is None
+            and self._reliable is None
             and self._accountant is None
             and self._envelopes is None
         ):
@@ -230,7 +244,11 @@ class Network:
             order_key = self._multicast_runs(
                 sender, recipients, delays, payload, send_time
             )
-        elif self._common_offset is not None and injector is None:
+        elif (
+            self._common_offset is not None
+            and injector is None
+            and self._reliable is None
+        ):
             # Batched fast fan-out: with one start offset for everyone,
             # the delivery time is a pure function of the delay, so runs
             # of equal delays (every fixed/Gst-stable policy) share one
@@ -498,6 +516,14 @@ class Network:
         deliver_time = quantize(
             max(send_time + delay, self._start_offsets[recipient])
         )
+        # Reliable-channel seam: track the copy *before* the injector gets
+        # a chance to drop it — recovering exactly that loss is the
+        # channel's job.  Self-deliveries never route through here.
+        transfer = (
+            self._reliable.register(sender, recipient, payload)
+            if self._reliable is not None and recipient != sender
+            else None
+        )
         if self._injector is not None:
             # Fault seam: the injector may drop, retime, or duplicate
             # this copy.  The order-key digest stays lazy — a copy the
@@ -512,13 +538,13 @@ class Network:
             for faulted_time in deliveries:
                 self._schedule_delivery(
                     sender, recipient, payload,
-                    quantize(faulted_time), order_key,
+                    quantize(faulted_time), order_key, transfer,
                 )
             return order_key
         if order_key is None:
             order_key = digest(payload)
         self._schedule_delivery(
-            sender, recipient, payload, deliver_time, order_key
+            sender, recipient, payload, deliver_time, order_key, transfer
         )
         return order_key
 
@@ -529,6 +555,7 @@ class Network:
         payload: Any,
         deliver_time: float,
         order_key: bytes,
+        transfer: "_Transfer | None" = None,
     ) -> None:
         msg_id = (
             self._accountant.register_send()
@@ -546,6 +573,16 @@ class Network:
         # avoids one allocation per message, and ``transient=True`` lets
         # the arena-mode queue recycle the event cell after delivery —
         # the network never retains delivery-event handles.
+        if transfer is not None:
+            self._sim.schedule_at(
+                deliver_time,
+                self._deliver_tracked,
+                order_key=order_key,
+                label="deliver",
+                args=(sender, recipient, payload, msg_id, transfer),
+                transient=True,
+            )
+            return
         self._sim.schedule_at(
             deliver_time,
             self._deliver,
@@ -578,3 +615,110 @@ class Network:
                 self._accountant.end_step()
         else:
             inbox(sender, payload)
+
+    def _deliver_tracked(
+        self,
+        sender: PartyId,
+        recipient: PartyId,
+        payload: Any,
+        msg_id: int | None,
+        transfer: "_Transfer",
+    ) -> None:
+        """The reliable-channel twin of :meth:`_deliver`.
+
+        Same delivery rules; on the first copy that actually reaches the
+        inbox (not discarded by a crash window) the channel is told to
+        ack, stopping the retry chain.  Only scheduled when a channel is
+        attached, so :meth:`_deliver` itself stays untouched.
+        """
+        inbox = self._inboxes[recipient]
+        if inbox is None:
+            return
+        if self._injector is not None and self._injector.block_delivery(
+            recipient, self._sim.now
+        ):
+            return  # recipient down: no ack, the retry chain recovers it
+        self._reliable.acknowledge(transfer)
+        self.messages_delivered += 1
+        if self._accountant is not None and msg_id is not None:
+            self._accountant.begin_delivery_step(recipient, msg_id)
+            try:
+                inbox(sender, payload)
+            finally:
+                self._accountant.end_step()
+        else:
+            inbox(sender, payload)
+
+    def _retransmit(self, transfer: "_Transfer") -> bool:
+        """Re-send one tracked copy (the reliable channel's resend hook).
+
+        The retry is re-priced through the delay policy at the current
+        instant and routed through the injector again — a resend can be
+        dropped, jittered or duplicated exactly like an original.  A
+        sender inside a crash window retransmits nothing (returns
+        ``False``); its chain keeps ticking and resumes after recovery.
+        """
+        send_time = self._sim.now
+        injector = self._injector
+        if injector is not None and injector.block_send(
+            transfer.sender, send_time
+        ):
+            return False
+        delay = self._policy.delay(
+            transfer.sender, transfer.recipient, transfer.payload, send_time
+        )
+        if delay == INF:
+            return False
+        if delay < 0:
+            raise SimulationError(f"policy produced negative delay {delay}")
+        deliver_time = quantize(
+            max(
+                send_time + delay,
+                self._start_offsets[transfer.recipient],
+            )
+        )
+        self.messages_sent += 1
+        order_key = digest(transfer.payload)
+        if injector is not None:
+            deliveries = injector.route(
+                transfer.sender, transfer.recipient, send_time, deliver_time
+            )
+            for faulted_time in deliveries:
+                self._schedule_delivery(
+                    transfer.sender, transfer.recipient, transfer.payload,
+                    quantize(faulted_time), order_key, transfer,
+                )
+            return True
+        self._schedule_delivery(
+            transfer.sender, transfer.recipient, transfer.payload,
+            deliver_time, order_key, transfer,
+        )
+        return True
+
+    # ------------------------------------------------------------------ #
+    # reliable-channel counters (read by World.result)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def retransmissions(self) -> int:
+        return (
+            self._reliable.counters.retransmissions
+            if self._reliable is not None
+            else 0
+        )
+
+    @property
+    def acks_sent(self) -> int:
+        return (
+            self._reliable.counters.acks_sent
+            if self._reliable is not None
+            else 0
+        )
+
+    @property
+    def retries_exhausted(self) -> int:
+        return (
+            self._reliable.counters.retries_exhausted
+            if self._reliable is not None
+            else 0
+        )

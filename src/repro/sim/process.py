@@ -62,6 +62,9 @@ class Party(Agent):
         self.commit_global_time: float | None = None
         self.commit_local_time: float | None = None
         self.commit_step: int | None = None
+        #: The protocol view in which this party committed (``None`` for
+        #: protocols without view machinery, or before commit).
+        self.commit_view: int | None = None
         self.terminated = False
         self._timers: list[Event] = []
 
@@ -86,6 +89,16 @@ class Party(Agent):
 
     def on_message(self, sender: PartyId, payload: Any) -> None:
         """Protocol hook: runs on every delivered message until terminated."""
+
+    def on_recover(self) -> None:
+        """Protocol hook: the party just came back from a crash window.
+
+        Called by crash behaviors at each finite recovery instant.  View
+        protocols override this to re-arm their view timer from the
+        *current* simulated time (and re-announce a timeout whose
+        multicast the crash suppressed); the base class — and every
+        fixed-round protocol — has nothing to restore.
+        """
 
     def on_votes_batch(self, value, signers, payloads) -> bool:
         """Opt-in vectorized vote path: absorb one same-value vote run.
@@ -204,6 +217,16 @@ class Party(Agent):
     def verify(self, signed) -> bool:
         return self.registry.verify(signed)
 
+    def note_view(self, view: int) -> None:
+        """Report a view entry to any attached view-progress monitors.
+
+        Worlds without the hook (out-of-tree stand-ins) are a no-op, so
+        protocols can call this unconditionally from ``_enter_view``.
+        """
+        note = getattr(self.world, "note_view_change", None)
+        if note is not None:
+            note(self.id, view, self.world.sim.now)
+
     def at_local_time(
         self,
         local_time: float,
@@ -275,6 +298,7 @@ class Party(Agent):
         self.committed_value = value
         self.commit_global_time = self.world.sim.now
         self.commit_local_time = self.local_time()
+        self.commit_view = getattr(self, "current_view", None)
         accountant = getattr(self.world, "accountant", None)
         if accountant is not None:
             step = accountant.current_step

@@ -50,6 +50,7 @@ class World:
         record_envelopes: bool = False,
         instrumentation: str | Instrumentation | None = None,
         fault_plan: FaultPlan | None = None,
+        reliable_link: Any = None,
         monitors: list[Any] | None = None,
         protocol_name: str | None = None,
     ):
@@ -84,6 +85,10 @@ class World:
         self.fault_injector = (
             FaultInjector(fault_plan, n=n) if fault_plan is not None else None
         )
+        # Opt-in reliable channel (``sim/retransmit.py``): like the fault
+        # plan, ``None`` keeps the network free of the per-copy tracking
+        # seams entirely.
+        self.reliable_link = reliable_link
         self.network = Network(
             self.sim,
             delay_policy,
@@ -92,6 +97,7 @@ class World:
             start_offsets=self.start_offsets,
             instrumentation=self.instrumentation,
             fault_injector=self.fault_injector,
+            reliable_link=reliable_link,
         )
         for monitor in monitors or ():
             monitor.bind(self)
@@ -229,6 +235,11 @@ class World:
     ) -> None:
         self.instrumentation.note_commit_conflict(party, old, new, time)
 
+    def note_view_change(
+        self, party: PartyId, view: int, time: float | None = None
+    ) -> None:
+        self.instrumentation.note_view_change(party, view, time)
+
     def check_invariants(self) -> None:
         """Run every attached monitor's end-of-run check.
 
@@ -289,6 +300,9 @@ class World:
             ),
             messages_held=injector.messages_held if injector else 0,
             partition_windows=injector.partition_windows if injector else 0,
+            retransmissions=self.network.retransmissions,
+            acks_sent=self.network.acks_sent,
+            retries_exhausted=self.network.retries_exhausted,
         )
 
 
@@ -335,6 +349,10 @@ class RunResult:
     messages_duplicated: int = 0
     messages_held: int = 0
     partition_windows: int = 0
+    #: Reliable-channel counters; all 0 without a ``reliable_link``.
+    retransmissions: int = 0
+    acks_sent: int = 0
+    retries_exhausted: int = 0
 
     @property
     def honest_ids(self) -> list[PartyId]:
@@ -391,6 +409,7 @@ def run_broadcast(
     max_events: int | None = None,
     instrumentation: str | Instrumentation | None = None,
     fault_plan: FaultPlan | None = None,
+    reliable_link: Any = None,
     monitors: list[Any] | None = None,
     protocol_name: str | None = None,
 ) -> RunResult:
@@ -403,6 +422,7 @@ def run_broadcast(
         start_offsets=start_offsets,
         instrumentation=instrumentation,
         fault_plan=fault_plan,
+        reliable_link=reliable_link,
         monitors=monitors,
         protocol_name=protocol_name,
     )

@@ -1,0 +1,52 @@
+"""The committed regression corpus: replay every reproducer in this dir.
+
+Each ``*.json`` file here is a self-contained fault-plan reproducer
+(see ``repro.analysis.chaos.write_reproducer``): protocol, tier, the
+full plan, an optional reliable-link policy, and the expected outcome.
+``expect: "clean"`` files pin scenarios that once failed (or that a gate
+depends on) and must stay violation-free; ``expect: "violation"`` files
+pin known-bad contrast cases that must *keep* failing, so a semantics
+change cannot silently declare fatal loss survivable.
+
+To commit a new reproducer: run ``python -m repro chaos --deep
+--emit-reproducers <dir>`` (the nightly job uploads the same files as
+artifacts), fix the bug it found, then copy the file here — the corpus
+asserts the plan stays clean from then on.
+"""
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.chaos import load_reproducer, run_reproducer
+
+CORPUS = sorted(Path(__file__).parent.glob("*.json"))
+
+
+def test_corpus_is_not_empty():
+    assert len(CORPUS) >= 5
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+def test_reproducer_replays_to_its_expected_outcome(path):
+    replay = run_reproducer(path)
+    assert replay["ok"], (
+        f"{path.name}: expected {replay['expect']}, got "
+        f"{replay['record']['violation']}"
+    )
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+def test_reproducer_files_parse_cleanly(path):
+    loaded = load_reproducer(path)
+    assert loaded["expect"] in ("clean", "violation")
+    assert loaded["note"], f"{path.name}: commit reproducers with a note"
+
+
+def test_viewchange_reproducers_reach_view_2():
+    viewchange = [p for p in CORPUS if "-viewchange-" in p.name]
+    assert len(viewchange) >= 3  # one per psync protocol
+    for path in viewchange:
+        replay = run_reproducer(path)
+        assert replay["record"]["max_commit_view"] >= 2, path.name

@@ -17,15 +17,18 @@ from repro.sim.delays import GstDelay, UniformDelay
 from repro.sim.events import EventQueue
 from repro.sim.faults import (
     Crash,
+    CrashLeader,
     CrashWindow,
     DropLink,
     DuplicateLink,
     FaultInjector,
     FaultPlan,
     GstChurn,
+    Holdback,
     Partition,
     ReorderJitter,
 )
+from repro.sim.retransmit import ReliableLink
 from repro.sim.instrumentation import Instrumentation
 from repro.sim.runner import World
 from repro.sim.timeline import BucketTimeline
@@ -104,6 +107,122 @@ class TestFaultPlan:
             crashes=(Crash(1, 0.0),), drops=(DropLink(src=1, prob=0.5),)
         )
         assert faulty_drop.check_tolerated(n=4, f=1, deadline=10.0) == []
+
+
+class TestViewChangePrimitives:
+    def test_crash_leader_resolves_through_the_rotation(self):
+        plan = FaultPlan(
+            leader_crashes=(CrashLeader(view=2, recover=5.0),), seed=9
+        )
+        resolved = plan.resolve_leaders(lambda view: (view - 1) % 4)
+        assert resolved.leader_crashes == ()
+        assert resolved.crashes == (Crash(1, 0.0, recover=5.0),)
+        assert resolved.seed == 9
+        # Without symbolic entries resolution is the identity.
+        assert FaultPlan().resolve_leaders(lambda v: 0) == FaultPlan()
+
+    def test_injector_rejects_unresolved_leader_crashes(self):
+        plan = FaultPlan(leader_crashes=(CrashLeader(view=1),))
+        with pytest.raises(FaultPlanError):
+            FaultInjector(plan, n=4)
+
+    def test_validate_covers_the_new_primitives(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(leader_crashes=(CrashLeader(view=0),)).validate(4)
+        with pytest.raises(FaultPlanError):
+            FaultPlan(
+                holdbacks=(Holdback(start=0.0, end=INF),)
+            ).validate(4)
+        with pytest.raises(FaultPlanError):
+            FaultPlan(holdbacks=(Holdback(src=9),)).validate(4)
+
+    def test_holdback_retimes_instead_of_dropping(self):
+        injector = FaultInjector(
+            FaultPlan(
+                holdbacks=(
+                    Holdback(src=0, start=0.0, end=4.0, flush_delay=0.0),
+                ),
+            ),
+            n=4,
+        )
+        # Held to the window's release instant, never lost.
+        assert injector.route(0, 1, 0.0, 1.0) == [4.0]
+        assert injector.route(2, 1, 0.0, 1.0) == [1.0]  # other links free
+        # A natural delivery past the release is untouched.
+        assert injector.route(0, 1, 3.9, 4.9) == [4.9]
+        assert injector.messages_held == 1
+        assert injector.messages_dropped == 0
+
+    def test_quiet_time_grows_a_retransmission_tail(self):
+        link = ReliableLink(rto=1.0, backoff=2.0, max_retries=2)  # tail 3
+        plan = FaultPlan(
+            drops=(DropLink(dst=1, start=0.0, end=4.0, prob=1.0),),
+            holdbacks=(Holdback(src=0, start=0.0, end=2.0, flush_delay=0.5),),
+            leader_crashes=(CrashLeader(view=1, recover=3.0),),
+        )
+        assert plan.quiet_time() == 4.0
+        assert plan.quiet_time(link) == 7.0
+        # Crash-stop leader crashes stay spent budget, tail or not.
+        stop = FaultPlan(leader_crashes=(CrashLeader(view=1),))
+        assert stop.quiet_time(link) == 0.0
+
+    def test_check_tolerated_with_view_change_primitives(self):
+        leader = FaultPlan(leader_crashes=(CrashLeader(view=1),))
+        assert leader.check_tolerated(n=4, f=1, deadline=20.0) == []
+        two_views = FaultPlan(
+            leader_crashes=(CrashLeader(view=1), CrashLeader(view=2)),
+        )
+        assert two_views.check_tolerated(n=4, f=1, deadline=20.0)
+        late_hold = FaultPlan(
+            holdbacks=(Holdback(src=0, start=0.0, end=30.0),),
+        )
+        assert late_hold.check_tolerated(n=4, f=1, deadline=20.0)
+
+    def test_reliable_link_makes_finite_honest_drops_tolerated(self):
+        plan = FaultPlan(
+            drops=(DropLink(dst=1, start=0.0, end=2.0, prob=1.0),),
+        )
+        assert plan.check_tolerated(n=4, f=1, deadline=20.0)
+        # tail 2+4+8+16=30 > window 2: every copy retries past the loss.
+        assert plan.check_tolerated(
+            n=4, f=1, deadline=20.0, reliable=ReliableLink()
+        ) == []
+        # A never-closing drop window is fatal even with retries.
+        forever = FaultPlan(drops=(DropLink(dst=1, prob=1.0),))
+        assert forever.check_tolerated(
+            n=4, f=1, deadline=20.0, reliable=ReliableLink()
+        )
+
+    def test_json_round_trip_covers_every_field(self):
+        plan = FaultPlan(
+            crashes=(Crash(1, 0.5, recover=2.0), Crash(2, 0.0)),
+            drops=(DropLink(src=0, dst=3, start=0.0, end=4.0, prob=1.0),),
+            duplicates=(DuplicateLink(prob=0.4, end=2.0, echo_delay=0.1),),
+            jitters=(ReorderJitter(jitter=0.7, end=3.0),),
+            partitions=(
+                Partition(groups=((0, 1), (2, 3)), start=0.2, end=2.5,
+                          flush_delay=0.8),
+            ),
+            churns=(GstChurn(windows=((0.0, 4.0),), bound=1.5),),
+            leader_crashes=(CrashLeader(view=2, at=0.1, recover=6.0),
+                            CrashLeader(view=3)),
+            holdbacks=(Holdback(src=0, start=0.0, end=5.0, flush_delay=0.5),),
+            seed=42,
+        )
+        doc = plan.to_json()
+        assert FaultPlan.from_json(doc) == plan
+        # INF survives the JSON detour (encoded, not a float inf).
+        import json
+
+        assert FaultPlan.from_json(json.loads(json.dumps(doc))) == plan
+
+    def test_without_removes_new_primitives(self):
+        hold = Holdback(src=0, end=5.0)
+        lc = CrashLeader(view=1)
+        plan = FaultPlan(leader_crashes=(lc,), holdbacks=(hold,))
+        assert len(plan) == 2
+        assert len(plan.without(hold)) == 1
+        assert plan.without(hold).without(lc).is_empty()
 
 
 class TestCrashWindow:

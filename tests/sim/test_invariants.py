@@ -17,6 +17,7 @@ from repro.errors import (
     InvariantViolation,
     TerminationViolation,
     ValidityViolation,
+    ViewProgressViolation,
 )
 from repro.protocols.brb_2round import Brb2Round
 from repro.sim.delays import FixedDelay, UniformDelay
@@ -24,8 +25,10 @@ from repro.sim.faults import Crash, FaultPlan
 from repro.sim.invariants import (
     AgreementMonitor,
     IntegrityMonitor,
+    TerminationAfterGst,
     TerminationMonitor,
     ValidityMonitor,
+    ViewProgress,
     standard_monitors,
 )
 from repro.sim.runner import World, run_broadcast
@@ -137,6 +140,80 @@ class TestTerminationMonitor:
         monitor.on_commit(0, "v", 5.0)
         monitor.on_commit(1, "v", 9.0)
         monitor.finalize(world)
+
+
+class TestTerminationAfterGst:
+    def test_deadline_is_gst_plus_bound(self):
+        monitor = TerminationAfterGst(gst=6.0, bound=4.0)
+        assert monitor.deadline == 10.0
+        assert monitor.invariant == "termination-after-gst"
+
+    def test_commit_within_the_bound_passes(self):
+        world = _FakeWorld(n=2)
+        monitor = TerminationAfterGst(gst=6.0, bound=4.0)
+        monitor.bind(world)
+        monitor.on_commit(0, "v", 9.0)
+        monitor.on_commit(1, "v", 9.5)
+        monitor.finalize(world)
+
+    def test_commit_past_the_bound_raises(self):
+        world = _FakeWorld(n=2)
+        monitor = TerminationAfterGst(gst=6.0, bound=4.0)
+        monitor.bind(world)
+        monitor.on_commit(0, "v", 9.0)
+        monitor.on_commit(1, "v", 11.0)
+        with pytest.raises(TerminationViolation) as excinfo:
+            monitor.finalize(world)
+        assert excinfo.value.invariant == "termination-after-gst"
+
+
+class TestViewProgress:
+    def test_monotone_bounded_views_pass(self):
+        monitor = ViewProgress(max_view=3)
+        monitor.bind(_FakeWorld())
+        monitor.on_view(0, 1, 0.0)
+        monitor.on_view(0, 2, 4.0)
+        monitor.on_view(1, 1, 0.0)
+        monitor.on_view(0, 3, 8.0)
+
+    def test_view_regression_raises(self):
+        monitor = ViewProgress(max_view=5)
+        monitor.bind(_FakeWorld())
+        monitor.on_view(0, 2, 4.0)
+        with pytest.raises(ViewProgressViolation) as excinfo:
+            monitor.on_view(0, 1, 5.0)
+        assert excinfo.value.invariant == "view-progress"
+        assert excinfo.value.party == 0
+
+    def test_view_past_the_cap_raises(self):
+        monitor = ViewProgress(max_view=2)
+        monitor.bind(_FakeWorld())
+        monitor.on_view(0, 2, 4.0)
+        with pytest.raises(ViewProgressViolation):
+            monitor.on_view(0, 3, 8.0)
+
+    def test_faulty_parties_exempt(self):
+        monitor = ViewProgress(max_view=2)
+        monitor.bind(_FakeWorld(faulty={3}))
+        monitor.on_view(3, 9, 1.0)  # a Byzantine party may claim anything
+
+    def test_world_routes_view_notes_to_monitors(self):
+        from repro.protocols.psync.pbft import PbftPsync
+
+        monitor = ViewProgress(max_view=3)
+        world = World(
+            n=4,
+            f=1,
+            delay_policy=FixedDelay(0.1),
+            fault_plan=FaultPlan(crashes=(Crash(0, 0.0),)),
+            monitors=[monitor],
+        )
+        world.populate(
+            PbftPsync.factory(broadcaster=0, input_value="v", big_delta=1.0)
+        )
+        world.run(until=50.0)
+        # The crashed leader forced everyone through views 1 and 2.
+        assert monitor._views[1] == 2
 
 
 class TestStandardMonitors:

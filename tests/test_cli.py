@@ -30,11 +30,14 @@ class TestParser:
     def test_chaos_defaults(self):
         args = build_parser().parse_args(["chaos"])
         assert args.smoke is False
-        assert args.plans == 16
+        assert args.deep is False
+        # Resolved inside the command: 16 normally, 8 smoke, 200 deep.
+        assert args.plans is None
         assert args.protocols is None
         assert args.workers == 1
         assert args.instrumentation == "perf"
         assert args.base_seed == 0
+        assert args.emit_reproducers is None
 
 
 class TestCommands:
@@ -79,6 +82,17 @@ class TestCommands:
         ) == 0
         out = capsys.readouterr().out
         assert "4 fault plans across 2 protocols" in out
+        assert "invariant violations: 0" in out
+
+    def test_chaos_deep_runs_both_tiers_and_gates(self, capsys):
+        assert main(
+            ["chaos", "--deep", "--plans", "1",
+             "--protocols", "psync_pbft"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "[tiers: good-case, viewchange]" in out
+        assert "view-change smoke: commit views" in out
+        assert "reliable-drop demo:" in out
         assert "invariant violations: 0" in out
 
     def test_chaos_violation_exits_one(self, capsys, monkeypatch):
