@@ -1,7 +1,9 @@
 """Tracked end-to-end perf runs: the engine behind ``BENCH_core.json``.
 
 Runs the good-case latency measurement for 2-round-BRB and psync-VBB
-across system sizes (up to n=501) and instrumentation presets, recording
+across system sizes (up to n=10001, the largest rows under sharded
+in-run parallelism — see benchmarks/README.md "Sharded worlds") and
+instrumentation presets, recording
 wall time, events/sec, message counts, digest-subsystem statistics
 (including the content-intern tier's hit and plan counters) and the
 quorum/arena counters (``quorum_checks`` tally updates across every
@@ -58,6 +60,9 @@ REPS = 9  # median over 9: the 1-CPU CI boxes jitter full-mode walls ~10%
 REPS_LARGE = 5
 #: The n >= 701 scale rows run seconds per rep; 3 still gives a median.
 REPS_XLARGE = 3
+#: The n > 2001 frontier rows run minutes per rep (the sharded n=10001
+#: point is ~3 min even across 4 workers): one rep, no median.
+REPS_FRONTIER = 1
 
 #: (label, protocol class, measure kwargs, instrumentation modes).  f is
 #: the largest fault budget each protocol's resilience bound admits at
@@ -76,6 +81,13 @@ CONFIGS = [
     # Run batching folds a fan-out's equal-delay copies into one event,
     # so the n=2001 point (4M logical deliveries) is now tractable.
     ("brb_2round", Brb2Round, dict(n=2001, f=666), ["perf"]),
+    # Sharded in-run parallelism: the same world partitioned across
+    # worker processes under the coordinator barrier.  The n=2001 row
+    # doubles as a sharded-vs-single comparison point; n=10001 (200M
+    # logical deliveries, ~100M signature pairs in the shared entry
+    # stores) only fits through the per-shard O(n^2/k) memory split.
+    ("brb_2round", Brb2Round, dict(n=2001, f=666, shards=2), ["perf"]),
+    ("brb_2round", Brb2Round, dict(n=10001, f=3333, shards=4), ["perf"]),
     ("psync_vbb_5f1", PsyncVbb5f1, dict(n=4, f=1, big_delta=1.0), ["full"]),
     ("psync_vbb_5f1", PsyncVbb5f1, dict(n=16, f=3, big_delta=1.0), ["full"]),
     (
@@ -92,6 +104,10 @@ SMOKE_CONFIGS = [
     ("brb_2round", Brb2Round, dict(n=16, f=5), ["full", "perf"]),
     ("brb_2round", Brb2Round, dict(n=31, f=10), ["full", "perf"]),
     ("psync_vbb_5f1", PsyncVbb5f1, dict(n=16, f=3, big_delta=1.0), ["full"]),
+    # One sharded grid point so CI exercises the coordinator barrier end
+    # to end (fork, lockstep instants, batch routing, counter merge); the
+    # gate asserts its shard_batches_exchanged > 0.
+    ("brb_2round", Brb2Round, dict(n=31, f=10, shards=2), ["perf"]),
 ]
 
 #: Latency-distribution grid: seeded random-delay percentiles per point,
@@ -146,6 +162,11 @@ def measure_one(
     row = {
         "protocol": label,
         **{k: v for k, v in kwargs.items()},
+        # Effective values from the run itself: a row whose configuration
+        # forces single-process execution reports shards=1 here even if
+        # the grid asked for more.
+        "shards": meas.result.shards,
+        "shard_batches_exchanged": meas.result.shard_batches_exchanged,
         "instrumentation": instrumentation,
         "wall_seconds": round(wall, 6),
         "events_processed": events,
@@ -199,6 +220,11 @@ def _profile_one(measure) -> str:
 
 
 def _print_row(row: dict) -> None:
+    sharding = (
+        f" shards={row['shards']} batches={row['shard_batches_exchanged']}"
+        if row.get("shards", 1) > 1
+        else ""
+    )
     print(
         f"{row['protocol']:>14} n={row['n']:<3} f={row['f']:<3}"
         f" {row['instrumentation']:>6}"
@@ -212,6 +238,7 @@ def _print_row(row: dict) -> None:
         f" recycled={row['events_recycled']}"
         f" avoided={row['heap_pushes_avoided']}"
         f" batched={row['deliveries_batched']}"
+        f"{sharding}"
     )
 
 
@@ -230,7 +257,9 @@ def _default_reps(n: int) -> int:
         return REPS
     if n <= 501:
         return REPS_LARGE
-    return REPS_XLARGE
+    if n <= 2001:
+        return REPS_XLARGE
+    return REPS_FRONTIER
 
 
 def run_grid(
@@ -247,7 +276,8 @@ def run_grid(
                 reps=reps if reps is not None else _default_reps(kwargs["n"]),
                 profile=profile,
             ),
-            key=(label, kwargs["n"], kwargs["f"], mode),
+            key=(label, kwargs["n"], kwargs["f"],
+                 kwargs.get("shards", 1), mode),
         )
         for label, cls, kwargs, modes in configs
         for mode in modes
@@ -273,14 +303,20 @@ def run_distribution(grid, samples, *, workers: int) -> list[dict]:
 
 
 def _annotate_mode_speedups(rows: list[dict]) -> None:
-    """perf-vs-full ratios: computed purely within the current rows."""
+    """perf-vs-full ratios: computed purely within the current rows.
+
+    Sharded rows are excluded on both sides: the ratio compares
+    instrumentation presets on the same executor, and a multi-process
+    wall against a single-process one measures the machine, not the
+    observability overhead.
+    """
     full_by_key = {
         (r["protocol"], r["n"], r["f"]): r
         for r in rows
-        if r["instrumentation"] == "full"
+        if r["instrumentation"] == "full" and r.get("shards", 1) == 1
     }
     for row in rows:
-        if row["instrumentation"] != "perf":
+        if row["instrumentation"] != "perf" or row.get("shards", 1) > 1:
             continue
         full = full_by_key.get((row["protocol"], row["n"], row["f"]))
         if full and row["wall_seconds"] > 0:
@@ -293,11 +329,13 @@ def _annotate_baseline_speedups(
     rows: list[dict], baseline_rows: list[dict]
 ) -> None:
     base_by_key = {
-        (r["protocol"], r["n"], r["f"], r.get("instrumentation", "full")): r
+        (r["protocol"], r["n"], r["f"], r.get("shards", 1),
+         r.get("instrumentation", "full")): r
         for r in baseline_rows
     }
     for row in rows:
-        key = (row["protocol"], row["n"], row["f"], row["instrumentation"])
+        key = (row["protocol"], row["n"], row["f"],
+               row.get("shards", 1), row["instrumentation"])
         base = base_by_key.get(key)
         if base and row["wall_seconds"] > 0:
             row["speedup_vs_baseline"] = round(
@@ -312,6 +350,7 @@ def run_core_bench(
     workers: int = 1,
     reps: int | None = None,
     profile: bool = False,
+    shards: int | None = None,
 ) -> dict:
     """Run the bench grid; write/merge ``output`` when given.
 
@@ -319,9 +358,19 @@ def run_core_bench(
     cProfile and the top-20 cumulative entries land in a
     ``<output stem>.profile.txt`` next to the bench artifact — the
     one-command reproduction of the "next bottleneck" profiling claims.
+    ``shards`` overrides the shard count on *every* grid row (1 forces
+    the whole grid single-process, including rows that ship with a
+    ``shards=k``); ``None`` keeps the per-row defaults.  Rows whose
+    configuration forbids sharding (full instrumentation, unsafe delay
+    policies) silently run single-process and report ``shards=1``.
     Returns the document that was (or would have been) written.
     """
     configs = SMOKE_CONFIGS if smoke else CONFIGS
+    if shards is not None:
+        configs = [
+            (label, cls, {**kwargs, "shards": shards}, modes)
+            for label, cls, kwargs, modes in configs
+        ]
     if reps is None and smoke:
         # 5 reps keeps the whole smoke grid well under a second while
         # giving the CI speedup-floor assert a real median to stand on
@@ -412,6 +461,11 @@ def build_parser(prog: str | None = None) -> argparse.ArgumentParser:
         help="capture a cProfile top-20 (cumulative) per grid point and "
         "write it to <output stem>.profile.txt next to the bench artifact",
     )
+    parser.add_argument(
+        "--shards", type=int, default=None,
+        help="override the shard count on every grid row (1 forces the "
+        "whole grid single-process; default: per-row grid values)",
+    )
     return parser
 
 
@@ -423,6 +477,7 @@ def main(argv: list[str] | None = None) -> int:
         workers=args.workers,
         reps=args.reps,
         profile=args.profile,
+        shards=args.shards,
     )
     return 0
 

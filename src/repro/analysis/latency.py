@@ -86,13 +86,17 @@ def measure_round_good_case(
     input_value: Any = "v",
     until: float | None = None,
     instrumentation: str | None = None,
+    shards: int = 1,
     **protocol_kwargs: Any,
 ) -> LatencyMeasurement:
     """Good-case latency (Canetti-Rabin rounds) under async / psync.
 
     With ``instrumentation="perf"`` the run records no steps, so
     ``round_latency`` comes back ``None`` (commits and message counts are
-    unaffected — that is the mode's contract).
+    unaffected — that is the mode's contract).  ``shards`` is an explicit
+    parameter (never folded into ``protocol_kwargs``): it selects sharded
+    in-run parallelism on the world, not a protocol knob, and silently
+    falls back to one process when the configuration forces it.
     """
     if model is None:
         model = AsynchronyModel()
@@ -111,6 +115,7 @@ def measure_round_good_case(
         delay_policy=policy,
         until=until,
         instrumentation=instrumentation,
+        shards=shards,
     )
     return LatencyMeasurement(
         protocol=protocol_cls.__name__,

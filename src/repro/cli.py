@@ -113,6 +113,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         workers=args.workers,
         reps=args.reps,
         profile=args.profile,
+        shards=args.shards,
     )
     return 0
 
@@ -284,6 +285,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--profile", action="store_true",
         help="cProfile top-20 per grid point -> <output stem>.profile.txt",
+    )
+    p.add_argument(
+        "--shards", type=int, default=None,
+        help="override the shard count on every grid row (1 forces "
+        "single-process; default: per-row grid values)",
     )
     p.set_defaults(fn=_cmd_bench)
 

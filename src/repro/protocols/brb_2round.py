@@ -63,8 +63,13 @@ class Brb2Round(BroadcastParty):
         self._voted = False
         # Commit quorum (n - f) accounting; equivocation detection is on
         # so Byzantine double-voters surface in the run's counters.
+        # Vote payloads live in the world-shared entry store (a valid
+        # vote's content is determined by (value, signer), and this
+        # tracker's reads are mask-derived views) — per-world instead of
+        # per-party storage, the O(n^2) -> O(n) trade that makes
+        # n >= 10001 worlds fit in memory.
         self._votes = self.quorum_tracker(
-            "brb2-votes", detect_equivocation=True
+            "brb2-votes", detect_equivocation=True, shared_entries=True
         )
 
     # ------------------------------------------------------------------ #

@@ -102,16 +102,32 @@ class PsyncVbb5f1(BroadcastParty):
                 else None
             ),
         )
+        # Entry-key parse cache, shared by every party of the world (one
+        # leader schedule, one validity predicate): a quorum forward's
+        # entries are the same objects at every recipient, so the n-th
+        # ``_uniform_entry_key`` walk is an identity hit per entry.
+        # Positive verdicts only — a failed parse can flip to a pass once
+        # the embedded pair's signature lands in the append-only issued
+        # set, so negatives are never cached.
+        identity_memo = getattr(world, "shared_identity_memo", None)
+        self._entry_keys = (
+            identity_memo("vbb-entry-keys")
+            if identity_memo is not None
+            else None
+        )
         self.current_view = 1
         self.highest_cert = Certificate.genesis()
         self._voted_pair: dict[int, SignedPayload] = {}  # view -> my entry
         self._timed_out: set[int] = set()
         self._advanced_past: set[int] = set()  # views whose timeout quorum fired
         # Quorum accounting: commit votes are tallied per (view, value)
-        # with the quorum-forward message memoized world-wide; timeout
+        # with the quorum-forward message memoized world-wide and the
+        # vote entries themselves in the world-shared store (reads are
+        # mask-derived views, so only storage is shared); timeout
         # entries and status messages are tallied per view (first entry
-        # per contributor wins, as before).
-        self._votes = self.quorum_tracker("vbb-votes")
+        # per contributor wins, as before) and keep per-party buckets —
+        # their consumers read arrival-ordered ``entry_pairs``.
+        self._votes = self.quorum_tracker("vbb-votes", shared_entries=True)
         self._timeout_entries = self.quorum_tracker()
         self._statuses = self.quorum_tracker()
         self._pending_proposals: dict[int, tuple[PartyId, Any]] = {}
@@ -374,7 +390,18 @@ class PsyncVbb5f1(BroadcastParty):
     def _parse_entry_body(
         self, entry: SignedPayload
     ) -> tuple[int, Value] | None:
-        """:meth:`_parse_value_entry` sans the outer entry signature."""
+        """:meth:`_parse_value_entry` sans the outer entry signature.
+
+        Successful parses are memoized per entry *object* in the
+        world-scoped cache (the batched ``VOTES`` path re-parses every
+        entry of a forwarded quorum at every recipient); failures are
+        recomputed — see the cache's construction comment.
+        """
+        memo = self._entry_keys
+        if memo is not None:
+            hit = memo.get(entry)
+            if hit is not None:
+                return hit
         pair = entry.payload
         if not isinstance(pair, SignedPayload) or not self.verify(pair):
             return None
@@ -388,6 +415,8 @@ class PsyncVbb5f1(BroadcastParty):
             return None
         if not self.external_validity(value):
             return None
+        if memo is not None:
+            memo.put(entry, (view, value))
         return view, value
 
     # ------------------------------------------------------------------ #

@@ -7,10 +7,15 @@ and cousins), which at BRB n >= 201 made per-delivery bucket bookkeeping
 the profiled bottleneck and spread the threshold semantics over ~10 files.
 :class:`QuorumTracker` centralizes the accounting with a *count-only fast
 path*: per value it keeps a signer **bitmask** (duplicate detection and the
-tally are O(1) int ops; the count is ``mask.bit_count()``), appends raw
-``(signer, payload)`` pairs, and only materializes a sorted
-``SignedPayload`` bucket when a certificate / quorum-forward payload is
-actually needed — usually exactly once, at the threshold crossing.
+tally are O(1) int ops; the count is ``mask.bit_count()``), stores accepted
+payloads in an insertion-ordered ``signer -> payload`` bucket, and only
+materializes a ``SignedPayload`` tuple when a certificate / quorum-forward
+payload is actually needed — usually exactly once, at the threshold
+crossing, where the bucket is read as a *mask-derived lazy view*: the
+crossing mask's set bits are decoded in ascending order and each signer's
+payload is one dict probe, so building the quorum tuple is O(quorum)
+lookups with no sort (the profiled ``sorted(entries)`` walk this replaced
+was O(n log n) per crossing at BRB n=2001).
 
 Thresholds and the paper's quorum-intersection argument
 -------------------------------------------------------
@@ -56,6 +61,25 @@ message *object*, so the network's per-multicast order-key digest is an
 identity hit instead of an O(quorum) content walk.  This is content-safe:
 signatures are deterministic (digest membership), so equal
 ``(value, mask)`` implies byte-identical messages.
+
+Shared entry stores
+-------------------
+
+The same determinism argument lets the *payload storage itself* be shared
+world-wide for the protocols' vote steps: a valid vote for ``value`` by
+``signer`` has exactly one possible content (the signature is digest
+membership over a content-determined body — even a Byzantine signer cannot
+produce two content-distinct valid votes for one ``(value, signer)``), so
+every party's accepted bucket for ``(value, signer)`` holds equal objects.
+Passing ``entry_store`` (a world-scoped ``value -> {signer: payload}``
+dict, see :meth:`repro.sim.runner.World.shared_entry_store`) stores each
+payload **once per world** instead of once per party, turning the vote
+step's O(n^2) world-wide entry storage into O(n) — the difference between
+BRB n=10001 fitting in memory or not.  Per-party state stays exact (masks
+and tallies are still per tracker); only :meth:`entries` /
+:meth:`entry_pairs` change observably, returning signer-ascending order
+instead of arrival order — so the store is opt-in per tracker and only
+used by vote steps whose reads are mask-derived views anyway.
 """
 from __future__ import annotations
 
@@ -162,6 +186,7 @@ class QuorumTracker:
         "_first_only",
         "_detect",
         "_shared",
+        "_store",
     )
 
     def __init__(
@@ -170,18 +195,24 @@ class QuorumTracker:
         first_vote_only: bool = False,
         detect_equivocation: bool = False,
         shared_memo: Any | None = None,
+        entry_store: dict | None = None,
     ):
         self.checks = 0
         self.batched = 0  # votes absorbed through committed batches
         self.equivocators: set[int] = set()
-        #: value -> [signer_mask, entries-or-None]; insertion-ordered, so
-        #: iteration visits values in first-vote order like the dict
-        #: buckets this class replaced.
+        #: value -> [signer_mask, {signer: payload}-or-None];
+        #: insertion-ordered, so iteration visits values in first-vote
+        #: order like the dict buckets this class replaced.
         self._slots: dict[Hashable, list] = {}
         self._voted = 0  # mask of signers that voted for any value
         self._first_only = first_vote_only
         self._detect = detect_equivocation
         self._shared = shared_memo  # world-scoped quorum-payload memo
+        #: world-scoped value -> {signer: payload} store (see module
+        #: docstring); when set, payloads live here once per world and
+        #: slot[1] stays None.  First writer wins — content equality of
+        #: the candidates is the module invariant.
+        self._store = entry_store
 
     # ------------------------------------------------------------------ #
     # the hot path
@@ -199,6 +230,7 @@ class QuorumTracker:
         self.checks += 1
         bit = 1 << signer
         voted = self._voted
+        store = self._store
         slot = self._slots.get(value)
         if slot is None:
             if voted & bit:
@@ -207,9 +239,17 @@ class QuorumTracker:
                     self.equivocators.add(signer)
                 if self._first_only:
                     return 0
-            self._slots[value] = [
-                bit, None if payload is None else [(signer, payload)]
-            ]
+            if payload is None:
+                self._slots[value] = [bit, None]
+            elif store is None:
+                self._slots[value] = [bit, {signer: payload}]
+            else:
+                self._slots[value] = [bit, None]
+                bucket = store.get(value)
+                if bucket is None:
+                    store[value] = {signer: payload}
+                elif signer not in bucket:
+                    bucket[signer] = payload
             self._voted = voted | bit
             return 1
         mask = slot[0]
@@ -223,11 +263,18 @@ class QuorumTracker:
         mask |= bit
         slot[0] = mask
         if payload is not None:
-            entries = slot[1]
-            if entries is None:
-                slot[1] = [(signer, payload)]
+            if store is None:
+                entries = slot[1]
+                if entries is None:
+                    slot[1] = {signer: payload}
+                else:
+                    entries[signer] = payload
             else:
-                entries.append((signer, payload))
+                bucket = store.get(value)
+                if bucket is None:
+                    store[value] = {signer: payload}
+                elif signer not in bucket:
+                    bucket[signer] = payload
         self._voted = voted | bit
         return mask.bit_count()
 
@@ -294,23 +341,36 @@ class QuorumTracker:
         self.checks += n_pairs
         self.batched += n_pairs
         if staged.accepted:
-            entries = [
-                (signer, payload)
-                for signer, payload in staged.accepted
-                if payload is not None
-            ]
+            store = self._store
             slot = self._slots.get(staged.value)
-            if slot is None:
-                self._slots[staged.value] = [
-                    staged.mask, entries or None
-                ]
+            if store is not None:
+                if slot is None:
+                    self._slots[staged.value] = [staged.mask, None]
+                else:
+                    slot[0] = staged.mask
+                bucket = store.get(staged.value)
+                if bucket is None:
+                    bucket = store[staged.value] = {}
+                for signer, payload in staged.accepted:
+                    if payload is not None and signer not in bucket:
+                        bucket[signer] = payload
             else:
-                slot[0] = staged.mask
-                if entries:
-                    if slot[1] is None:
-                        slot[1] = entries
-                    else:
-                        slot[1].extend(entries)
+                entries = {
+                    signer: payload
+                    for signer, payload in staged.accepted
+                    if payload is not None
+                }
+                if slot is None:
+                    self._slots[staged.value] = [
+                        staged.mask, entries or None
+                    ]
+                else:
+                    slot[0] = staged.mask
+                    if entries:
+                        if slot[1] is None:
+                            slot[1] = entries
+                        else:
+                            slot[1].update(entries)
             self._voted = staged.voted
         if staged.flagged:
             self.equivocators.update(staged.flagged)
@@ -398,36 +458,76 @@ class QuorumTracker:
     # ------------------------------------------------------------------ #
 
     def entries(self, value: Hashable) -> list[Any]:
-        """Recorded payloads for ``value``, in arrival order."""
-        slot = self._slots.get(value)
-        if slot is None or slot[1] is None:
-            return []
-        return [payload for _, payload in slot[1]]
+        """Recorded payloads for ``value``, in arrival order.
+
+        With a shared ``entry_store`` the order is signer-ascending
+        instead (the store holds one world-wide bucket, so per-tracker
+        arrival order is not recorded) — see the module docstring.
+        """
+        return [payload for _, payload in self.entry_pairs(value)]
 
     def entry_pairs(self, value: Hashable) -> list[tuple[int, Any]]:
-        """Recorded ``(signer, payload)`` pairs, in arrival order."""
+        """Recorded ``(signer, payload)`` pairs, in arrival order.
+
+        Signer-ascending instead with a shared ``entry_store`` (see
+        :meth:`entries`).
+        """
         slot = self._slots.get(value)
-        if slot is None or slot[1] is None:
+        if slot is None:
             return []
-        return list(slot[1])
+        if self._store is not None:
+            bucket = self._store.get(value)
+            if bucket is None:
+                return []
+            out = []
+            mask = slot[0]
+            while mask:
+                low = mask & -mask
+                signer = low.bit_length() - 1
+                payload = bucket.get(signer)
+                if payload is not None:
+                    out.append((signer, payload))
+                mask ^= low
+            return out
+        if slot[1] is None:
+            return []
+        return list(slot[1].items())
 
     def sorted_entries(self, value: Hashable) -> tuple:
         """Payloads for ``value`` sorted by signer (certificate order)."""
         slot = self._slots.get(value)
-        if slot is None or slot[1] is None:
+        if slot is None:
             return ()
-        return tuple(payload for _, payload in sorted(slot[1]))
+        if self._store is not None:
+            return tuple(p for _, p in self.entry_pairs(value))
+        entries = slot[1]
+        if entries is None:
+            return ()
+        return tuple(entries[signer] for signer in sorted(entries))
 
     def _mask_entries(self, value: Hashable, mask: int) -> tuple:
-        """Signer-sorted payloads for the signers selected by ``mask``."""
+        """Signer-sorted payloads for the signers selected by ``mask``.
+
+        The lazy view: decode the mask's set bits in ascending order and
+        probe the bucket once per signer — O(quorum) lookups, no sort.
+        """
         slot = self._slots.get(value)
-        if slot is None or slot[1] is None:
+        if slot is None:
             return ()
-        return tuple(
-            payload
-            for signer, payload in sorted(slot[1])
-            if mask >> signer & 1
-        )
+        if self._store is not None:
+            bucket = self._store.get(value)
+        else:
+            bucket = slot[1]
+        if bucket is None:
+            return ()
+        out = []
+        while mask:
+            low = mask & -mask
+            payload = bucket.get(low.bit_length() - 1)
+            if payload is not None:
+                out.append(payload)
+            mask ^= low
+        return tuple(out)
 
     def quorum_payload(
         self,

@@ -1,0 +1,212 @@
+"""Coordinator side of sharded in-run parallelism.
+
+:func:`run_sharded` executes one populated-but-deferred
+:class:`~repro.sim.runner.World` (``shards=k``) across ``k`` forked
+worker processes (:func:`repro.sim.shard._shard_main`), advancing all
+shards in lockstep one quantized instant at a time:
+
+1. every worker reports its local timeline's next event time;
+2. the coordinator picks the global minimum ``T`` and tells every worker
+   to run exactly up to ``T`` (all pending events are at ``>= T``, so a
+   step processes precisely the instant-``T`` work, including any
+   zero-delay cascades it triggers at ``T``);
+3. cross-shard runs whose delivery instant is ``T`` fire as outbox
+   records during the step; the coordinator routes them (plus freshly
+   issued signature groups) and **re-steps the same instant** until no
+   shard produces new cross-shard traffic — only then does time advance.
+
+The barrier is the deterministic timeline itself: workers never race,
+every delivery instant is identical to the single-process schedule, and
+the per-shard counters merge into one
+:class:`~repro.sim.runner.RunResult` whose outcome fields are
+indistinguishable from a ``shards=1`` run (``events_processed`` counts
+each routed copy once at its source and once at its destination, so the
+merge subtracts the routed copies; ``final_time`` is the horizon when one
+was set and events remained beyond it, matching ``Simulator.run``).
+
+The fork start method is required: party factories are closures over
+protocol classes and parameters, which cross into workers by address
+space inheritance, never by pickling.  Only the barrier messages
+themselves (compact run records, payload defs, signature groups) are
+pickled, through each worker's duplex pipe.
+"""
+from __future__ import annotations
+
+import multiprocessing
+
+from repro.errors import SimulationError
+from repro.sim.runner import RunResult, World
+
+__all__ = ["shard_bounds", "run_sharded"]
+
+
+def _recv(conn):
+    """Receive one worker message, surfacing shipped worker failures."""
+    msg = conn.recv()
+    if msg[0] == "error":
+        raise SimulationError(f"shard worker failed:\n{msg[1]}")
+    return msg
+
+
+def shard_bounds(n: int, shards: int) -> list[tuple[int, int]]:
+    """Contiguous near-equal party ranges: ``shards`` pairs ``(lo, hi)``.
+
+    The first ``n % shards`` ranges take the extra party, so sizes differ
+    by at most one and every party belongs to exactly one range.
+    """
+    base, rem = divmod(n, shards)
+    bounds = []
+    lo = 0
+    for index in range(shards):
+        hi = lo + base + (1 if index < rem else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+def run_sharded(world: World, *, until: float | None = None) -> RunResult:
+    """Run a ``shards > 1`` world to quiescence (or a horizon)."""
+    shards = world.shards
+    bounds = shard_bounds(world.n, shards)
+    parent_instr = world.instrumentation
+    ctx = multiprocessing.get_context("fork")
+    conns = []
+    procs = []
+    try:
+        for index in range(shards):
+            parent_conn, child_conn = ctx.Pipe()
+            spec = {
+                "index": index,
+                "bounds": bounds,
+                "n": world.n,
+                "f": world.f,
+                "delay_policy": world._delay_policy,
+                "byzantine": world.byzantine,
+                "start_offsets": list(world.start_offsets),
+                "protocol_name": world.protocol_name,
+                "party_factory": world._party_factory,
+                "instrumentation": {
+                    "name": parent_instr.name,
+                    "recycle_events": parent_instr.recycle_events,
+                    "timeline": parent_instr.timeline,
+                    "batch_deliveries": parent_instr.batch_deliveries,
+                },
+            }
+            from repro.sim.shard import _shard_main
+
+            proc = ctx.Process(
+                target=_shard_main, args=(child_conn, spec), daemon=True
+            )
+            proc.start()
+            child_conn.close()
+            conns.append(parent_conn)
+            procs.append(proc)
+
+        next_times: list[float | None] = []
+        for conn in conns:
+            tag, next_time = _recv(conn)
+            assert tag == "ready"
+            next_times.append(next_time)
+
+        batches = 0
+        copies = 0
+        horizon_hit = False
+        # Issued-signature groups not yet broadcast: drained into the
+        # next round of "step" messages (workers merge them before
+        # injecting, so a signature always lands before any message
+        # that references it is verified).
+        carry_issued: dict[bytes, int] = {}
+        inbound: list[list] = [[] for _ in range(shards)]
+        while True:
+            live = [t for t in next_times if t is not None]
+            if not live:
+                break
+            step_time = min(live)
+            if until is not None and step_time > until:
+                horizon_hit = True
+                break
+            # Step the instant, re-stepping while cross-shard traffic
+            # lands at it (zero-delay cascades converge here: each
+            # routed record is strictly consumed by its destination's
+            # next sub-step, and a quiescent sub-step ends the instant).
+            while True:
+                issued = carry_issued
+                carry_issued = {}
+                for index, conn in enumerate(conns):
+                    conn.send(("step", step_time, inbound[index], issued))
+                inbound = [[] for _ in range(shards)]
+                produced = False
+                for index, conn in enumerate(conns):
+                    tag, out, fresh, next_time = _recv(conn)
+                    assert tag == "stepped"
+                    next_times[index] = next_time
+                    for payload_digest, mask in fresh.items():
+                        carry_issued[payload_digest] = (
+                            carry_issued.get(payload_digest, 0) | mask
+                        )
+                    for dst, (defs, recs) in out.items():
+                        inbound[dst].append((index, defs, recs))
+                        batches += len(recs)
+                        copies += sum(r[3] - r[2] for r in recs)
+                        produced = True
+                if not produced:
+                    break
+
+        for conn in conns:
+            conn.send(("finish",))
+        summaries = [_recv(conn)[1] for conn in conns]
+        for proc in procs:
+            proc.join()
+    finally:
+        for conn in conns:
+            conn.close()
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join()
+
+    commits: dict = {}
+    commit_times: dict = {}
+    for summary in summaries:
+        commits.update(summary["commits"])
+        commit_times.update(summary["commit_times"])
+    final_time = (
+        float(until)
+        if horizon_hit
+        else max(s["final_time"] for s in summaries)
+    )
+    return RunResult(
+        n=world.n,
+        f=world.f,
+        byzantine=world.byzantine,
+        commits=commits,
+        commit_global_times=commit_times,
+        commit_rounds={},
+        start_offsets=list(world.start_offsets),
+        messages_sent=sum(s["messages_sent"] for s in summaries),
+        final_time=final_time,
+        events_processed=(
+            sum(s["events_processed"] for s in summaries) - copies
+        ),
+        events_recycled=sum(s["events_recycled"] for s in summaries),
+        bucket_appends=sum(s["bucket_appends"] for s in summaries),
+        heap_pushes_avoided=sum(
+            s["heap_pushes_avoided"] for s in summaries
+        ),
+        timeline=parent_instr.timeline,
+        deliveries_batched=sum(
+            s["deliveries_batched"] for s in summaries
+        ),
+        delivery_runs_batched=sum(
+            s["delivery_runs_batched"] for s in summaries
+        ),
+        quorum_checks=sum(s["quorum_checks"] for s in summaries),
+        votes_batched=sum(s["votes_batched"] for s in summaries),
+        equivocations_detected=sum(
+            s["equivocations_detected"] for s in summaries
+        ),
+        instrumentation=parent_instr.name,
+        rounds_recorded=False,
+        shards=shards,
+        shard_batches_exchanged=batches,
+    )

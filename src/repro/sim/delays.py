@@ -63,6 +63,20 @@ class DelayPolicy:
         """
         return INF
 
+    def shard_safe(self) -> bool:
+        """True iff per-link pricing is a pure function of its arguments.
+
+        Sharded execution (``World(shards=k)``) prices a multicast's
+        local and remote recipients in separate calls and different
+        worker processes, so any policy whose answers depend on *call
+        order* or internal mutable state (a seeded RNG stream) would
+        diverge from the single-process schedule.  Policies that compute
+        the delay purely from ``(sender, recipient, payload, send_time)``
+        opt in by returning True; the conservative default forces
+        ``shards=1``.
+        """
+        return False
+
 
 class FixedDelay(DelayPolicy):
     """Every message takes exactly ``value`` time units."""
@@ -82,6 +96,9 @@ class FixedDelay(DelayPolicy):
 
     def max_honest_delay(self) -> float:
         return self.value
+
+    def shard_safe(self) -> bool:
+        return True
 
 
 class UniformDelay(DelayPolicy):
@@ -154,6 +171,9 @@ class PerLinkDelay(DelayPolicy):
         finite = [v for v in self.links.values() if v != INF]
         return max([self.default, *finite])
 
+    def shard_safe(self) -> bool:
+        return True
+
 
 class FunctionDelay(DelayPolicy):
     """Arbitrary function policy for fully scripted executions."""
@@ -214,3 +234,8 @@ class GstDelay(DelayPolicy):
 
     def max_honest_delay(self) -> float:
         return self.big_delta
+
+    def shard_safe(self) -> bool:
+        # The cap is a pure function of (requested, send_time); safety
+        # reduces to the wrapped pre-GST policy's.
+        return self.pre_gst.shard_safe()

@@ -178,6 +178,7 @@ class Party(Agent):
         *,
         first_vote_only: bool = False,
         detect_equivocation: bool = False,
+        shared_entries: bool = False,
     ) -> "QuorumTracker":
         """A :class:`~repro.protocols.quorum.QuorumTracker` for this party.
 
@@ -191,19 +192,34 @@ class Party(Agent):
         use the same namespace (and adversary brains sharing the outer
         world's memos join the same pool, intentionally: their signatures
         are as deterministic as honest ones).
+
+        ``shared_entries=True`` (requires a ``namespace``) additionally
+        backs the tracker's payload buckets with a world-scoped entry
+        store (:meth:`repro.sim.runner.World.shared_entry_store`) — one
+        copy of each accepted vote per world instead of per party.  Only
+        opt in for steps whose entry reads are mask-derived views
+        (``quorum_payload`` / ``sorted_entries``): the store trades the
+        per-tracker arrival order of ``entries()`` / ``entry_pairs()``
+        for signer-ascending order.
         """
         from repro.protocols.quorum import QuorumTracker
 
         world = self.world
         shared = None
+        store = None
         if namespace is not None:
             shared_memo = getattr(world, "shared_memo", None)
             if shared_memo is not None:
                 shared = shared_memo(f"quorum::{namespace}")
+            if shared_entries:
+                entry_store = getattr(world, "shared_entry_store", None)
+                if entry_store is not None:
+                    store = entry_store(f"quorum-entries::{namespace}")
         tracker = QuorumTracker(
             first_vote_only=first_vote_only,
             detect_equivocation=detect_equivocation,
             shared_memo=shared,
+            entry_store=store,
         )
         instrumentation = getattr(world, "instrumentation", None)
         if instrumentation is not None:

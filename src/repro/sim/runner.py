@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from repro.crypto.messages import ContentMemo, intern_key
+from repro.crypto.messages import ContentMemo, IdentityMemo, intern_key
 from repro.crypto.signatures import KeyRegistry
 from repro.errors import ConfigurationError
 from repro.sim.delays import DelayPolicy, FixedDelay
@@ -53,6 +53,7 @@ class World:
         reliable_link: Any = None,
         monitors: list[Any] | None = None,
         protocol_name: str | None = None,
+        shards: int = 1,
     ):
         if len(byzantine) > f:
             raise ConfigurationError(
@@ -75,9 +76,18 @@ class World:
             recycle_events=self.instrumentation.recycle_events,
             timeline=self.instrumentation.timeline,
         )
-        self.registry = KeyRegistry(n)
+        self.registry = self._build_registry(n)
         #: Protocol label for invariant-violation context (chaos sets it).
         self.protocol_name = protocol_name
+        #: Worker-process count requested by the caller; the *effective*
+        #: count (``self.shards``, decided at :meth:`populate`) falls back
+        #: to 1 whenever any configured feature needs the single-process
+        #: path — see :meth:`_effective_shards`.
+        self.requested_shards = shards
+        self.shards = 1
+        self._delay_policy = delay_policy
+        self._party_factory: PartyFactory | None = None
+        self._sharded_result: "RunResult | None" = None
         # An attached fault plan compiles into the injector the network
         # consults per copy; no plan -> no injector -> the unfaulted
         # fast paths, byte-identical to a faults-free build.
@@ -89,16 +99,7 @@ class World:
         # plan, ``None`` keeps the network free of the per-copy tracking
         # seams entirely.
         self.reliable_link = reliable_link
-        self.network = Network(
-            self.sim,
-            delay_policy,
-            n=n,
-            byzantine=byzantine,
-            start_offsets=self.start_offsets,
-            instrumentation=self.instrumentation,
-            fault_injector=self.fault_injector,
-            reliable_link=reliable_link,
-        )
+        self.network = self._build_network(delay_policy)
         for monitor in monitors or ():
             monitor.bind(self)
             self.instrumentation.attach_monitor(monitor)
@@ -107,6 +108,27 @@ class World:
         self._populated = False
         self._payload_interner = ContentMemo(1 << 14)
         self._shared_memos: dict[str, ContentMemo] = {}
+        self._identity_memos: dict[str, IdentityMemo] = {}
+        self._entry_stores: dict[str, dict] = {}
+
+    def _build_registry(self, n: int) -> KeyRegistry:
+        """PKI construction hook (``_ShardWorld`` swaps in one that
+        tracks freshly issued signatures for cross-shard shipping)."""
+        return KeyRegistry(n)
+
+    def _build_network(self, delay_policy: DelayPolicy) -> Network:
+        """Network construction hook (``_ShardWorld`` swaps in the
+        range-partitioned transport)."""
+        return Network(
+            self.sim,
+            delay_policy,
+            n=self.n,
+            byzantine=self.byzantine,
+            start_offsets=self.start_offsets,
+            instrumentation=self.instrumentation,
+            fault_injector=self.fault_injector,
+            reliable_link=self.reliable_link,
+        )
 
     def intern_payload(self, payload: Any) -> Any:
         """Canonical instance for an immutable payload, world-scoped.
@@ -147,6 +169,38 @@ class World:
             self._shared_memos[name] = memo
         return memo
 
+    def shared_identity_memo(
+        self, name: str, max_entries: int = 1 << 18
+    ) -> IdentityMemo:
+        """A named world-scoped :class:`IdentityMemo`, created on demand.
+
+        For per-object caches whose verdicts depend on world state (the
+        leader schedule, the external-validity predicate) and are shared
+        by every party of one world — e.g. the psync-VBB entry-key parse
+        cache: all parties of a world agree on the parse of one payload
+        object, so the n-th parser is an identity hit.
+        """
+        memo = self._identity_memos.get(name)
+        if memo is None:
+            memo = IdentityMemo(max_entries)
+            self._identity_memos[name] = memo
+        return memo
+
+    def shared_entry_store(self, name: str) -> dict:
+        """A named world-scoped quorum entry store, created on demand.
+
+        A plain ``value -> {signer: payload}`` dict handed to
+        :class:`~repro.protocols.quorum.QuorumTracker` instances built
+        with ``shared_entries=True``: accepted vote payloads are stored
+        once per world instead of once per party (the O(n^2) -> O(n)
+        storage trade documented in :mod:`repro.protocols.quorum`).
+        """
+        store = self._entry_stores.get(name)
+        if store is None:
+            store = {}
+            self._entry_stores[name] = store
+        return store
+
     @property
     def commit_order(self) -> list[PartyId]:
         """Global order in which parties committed (commit tracking)."""
@@ -179,6 +233,38 @@ class World:
             if pid not in self.byzantine and isinstance(agent, Party)
         ]
 
+    def _effective_shards(self, behavior_factory) -> int:
+        """The worker count this world will actually run with.
+
+        Sharding is a pure performance mode: any configured feature whose
+        semantics need global per-copy visibility (round accounting,
+        transcripts, envelope capture, monitors, fault injection, the
+        reliable channel), a delay policy whose pricing is not a pure
+        per-link function, scripted Byzantine behaviors, or staggered
+        starts silently falls back to ``shards=1`` — the caller's results
+        are identical either way, sharding only changes the wall clock.
+        """
+        k = self.requested_shards
+        if k <= 1 or self.n < 2:
+            return 1
+        instr = self.instrumentation
+        if (
+            self.accountant is not None
+            or instr.records_transcripts
+            or instr.envelopes is not None
+            or instr.monitors
+            or self.fault_plan is not None
+            or self.reliable_link is not None
+            or behavior_factory is not None
+        ):
+            return 1
+        if not self._delay_policy.shard_safe():
+            return 1
+        first = self.start_offsets[0]
+        if any(offset != first for offset in self.start_offsets):
+            return 1
+        return min(k, self.n)
+
     def populate(
         self,
         party_factory: PartyFactory,
@@ -190,12 +276,21 @@ class World:
         parties (never attached: all their messages vanish), the weakest
         adversary.  A world can only be populated once: a second call would
         silently re-schedule every party's start event.
+
+        With an effective ``shards > 1`` nothing is instantiated here:
+        the factory is recorded and each worker process populates its own
+        party range at :meth:`run` time (party state must live in the
+        worker that simulates it).
         """
         if self._populated:
             raise ConfigurationError(
                 "world already populated; build a new World per execution"
             )
         self._populated = True
+        self.shards = self._effective_shards(behavior_factory)
+        if self.shards > 1:
+            self._party_factory = party_factory
+            return
         for pid in range(self.n):
             if pid in self.byzantine:
                 if behavior_factory is None:
@@ -254,10 +349,23 @@ class World:
     def run(
         self, *, until: float | None = None, max_events: int | None = None
     ) -> "RunResult":
+        if self.shards > 1:
+            if max_events is not None:
+                raise ConfigurationError(
+                    "max_events requires the single-process path; "
+                    f"build the world with shards=1 (got shards="
+                    f"{self.shards})"
+                )
+            from repro.sim.coordinator import run_sharded
+
+            self._sharded_result = run_sharded(self, until=until)
+            return self._sharded_result
         self.sim.run(until=until, max_events=max_events)
         return self.result()
 
     def result(self) -> "RunResult":
+        if self._sharded_result is not None:
+            return self._sharded_result
         honest = self.honest_parties()
         commit_rounds = {}
         if self.accountant is not None:
@@ -353,6 +461,11 @@ class RunResult:
     retransmissions: int = 0
     acks_sent: int = 0
     retries_exhausted: int = 0
+    #: Worker processes the run executed across (1 = single-process) and
+    #: the number of cross-shard message batches the coordinator routed
+    #: between them (0 whenever ``shards == 1``).
+    shards: int = 1
+    shard_batches_exchanged: int = 0
 
     @property
     def honest_ids(self) -> list[PartyId]:
@@ -412,6 +525,7 @@ def run_broadcast(
     reliable_link: Any = None,
     monitors: list[Any] | None = None,
     protocol_name: str | None = None,
+    shards: int = 1,
 ) -> RunResult:
     """Build a world, run it to quiescence (or a horizon), return results."""
     world = World(
@@ -425,6 +539,7 @@ def run_broadcast(
         reliable_link=reliable_link,
         monitors=monitors,
         protocol_name=protocol_name,
+        shards=shards,
     )
     world.populate(party_factory, behavior_factory)
     result = world.run(until=until, max_events=max_events)

@@ -214,6 +214,15 @@ class Simulator:
             self._running = False
         return self._now
 
+    def next_event_time(self) -> float | None:
+        """Time of the earliest queued event, or ``None`` when empty.
+
+        The sharded coordinator's barrier probe: each worker reports its
+        local timeline's head so the coordinator can pick the global next
+        instant.
+        """
+        return self._queue.peek_time()
+
     def pending_events(self) -> int:
         """Number of events still queued (excluding cancelled)."""
         return len(self._queue)

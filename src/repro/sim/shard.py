@@ -1,0 +1,450 @@
+"""Worker side of sharded in-run parallelism.
+
+One :class:`~repro.sim.runner.World` built with ``shards=k`` is executed
+by ``k`` worker processes, each owning a contiguous party range
+``[lo, hi)`` and its own local simulator/timeline.  This module is what
+runs *inside* a worker:
+
+* :class:`ShardNetwork` — the range-partitioned transport.  Local
+  recipients ride the stock :class:`~repro.sim.network.Network` fast
+  paths unchanged; remote recipients (at most two contiguous ranges:
+  everything below ``lo`` and everything at/above ``hi``) are priced
+  through the same delay policy and scheduled as *outbox events* in the
+  worker's own timeline.  When an outbox event fires — i.e. when virtual
+  time reaches the copies' delivery instant — the run is appended to
+  ``outbuf`` as a compact ``(sender, payload, lo, hi)`` record for the
+  coordinator to route.  No per-copy objects ever cross the process
+  boundary: a fan-out run travels as one record, and each payload object
+  crosses a given (source, destination) shard pair exactly once (later
+  records carry a small integer ref).
+
+* :class:`_ShardRegistry` — the PKI with issued-signature shipping.  The
+  ideal-signature model verifies by membership in the issued set, which
+  sharding splits across processes; every step each worker drains its
+  freshly issued ``(signer, digest)`` pairs, the coordinator merges them
+  into ``{digest: signer-bitmask}`` groups (n parties signing the same
+  vote body collapse to one digest + one int) and broadcasts them, and
+  receivers expand the masks back into their local issued set *before*
+  injecting that step's messages — so a signature always reaches a
+  verifier no later than the first message carrying it (delays are
+  positive, issuance precedes delivery by at least one barrier step).
+
+* :func:`_shard_main` — the worker loop speaking the coordinator's
+  barrier protocol (see :mod:`repro.sim.coordinator`).
+
+Determinism: event order keys are content digests, identical in every
+process; delay policies must be :meth:`~repro.sim.delays.DelayPolicy.
+shard_safe` (pure per-link pricing), so every copy gets the same delivery
+instant as in the single-process schedule.  The one documented divergence
+is intra-instant: a cross-shard copy arriving at instant ``T`` is
+injected after the destination drained its local ``T`` events, instead of
+digest-interleaved among them — virtual delivery times are identical, so
+good-case outcomes and counters are unchanged for positive-delay
+workloads (the parity suite pins this).
+"""
+from __future__ import annotations
+
+from typing import Any
+
+from repro.crypto.messages import digest
+from repro.crypto.signatures import KeyRegistry
+from repro.errors import SimulationError
+from repro.sim.clock import quantize
+from repro.sim.instrumentation import Instrumentation
+from repro.sim.network import Network
+from repro.sim.runner import World
+from repro.types import INF, PartyId
+
+__all__ = ["ShardNetwork", "_ShardRegistry", "_ShardWorld", "_shard_main"]
+
+
+class _ShardRegistry(KeyRegistry):
+    """PKI that records freshly issued signatures for shipping."""
+
+    def __init__(self, n: int):
+        super().__init__(n)
+        self._fresh: list[tuple[PartyId, bytes]] = []
+
+    def _record(self, party: PartyId, payload_digest: bytes) -> None:
+        pair = (party, payload_digest)
+        if pair not in self._issued:
+            self._issued.add(pair)
+            self._fresh.append(pair)
+
+    def take_fresh(self) -> dict[bytes, int]:
+        """Drain signatures issued since the last drain, grouped as
+        ``{payload_digest: signer-bitmask}`` (the wire format)."""
+        fresh = self._fresh
+        if not fresh:
+            return {}
+        self._fresh = []
+        grouped: dict[bytes, int] = {}
+        for party, payload_digest in fresh:
+            grouped[payload_digest] = (
+                grouped.get(payload_digest, 0) | 1 << party
+            )
+        return grouped
+
+    def merge_issued(self, grouped: dict[bytes, int]) -> None:
+        """Fold other shards' issued groups into the local issued set."""
+        issued = self._issued
+        for payload_digest, mask in grouped.items():
+            while mask:
+                low = mask & -mask
+                issued.add((low.bit_length() - 1, payload_digest))
+                mask ^= low
+
+
+class ShardNetwork(Network):
+    """Transport for one worker's party range ``[lo, hi)``.
+
+    Local traffic is the stock network (the cached fan-out list is just
+    clipped to the range); remote traffic is priced identically and
+    becomes outbox events — see the module docstring.
+    """
+
+    def __init__(self, *args, lo: int, hi: int, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._lo = lo
+        self._hi = hi
+        #: Cross-shard runs whose delivery instant has been reached, as
+        #: ``(sender, payload, lo, hi)`` records; drained by the worker
+        #: loop after every barrier step.
+        self.outbuf: list[tuple[PartyId, Any, int, int]] = []
+        self._remote_ranges = [
+            r for r in (range(0, lo), range(hi, self._n)) if len(r)
+        ]
+
+    def _fanout_for(self, sender: PartyId) -> list[PartyId]:
+        recipients = self._fanouts[sender]
+        if recipients is None:
+            recipients = [
+                r for r in range(self._lo, self._hi) if r != sender
+            ]
+            self._fanouts[sender] = recipients
+        return recipients
+
+    def send(
+        self,
+        sender: PartyId,
+        recipient: PartyId,
+        payload: Any,
+        *,
+        delay_override: float | None = None,
+    ) -> None:
+        if self._lo <= recipient < self._hi:
+            super().send(
+                sender, recipient, payload, delay_override=delay_override
+            )
+            return
+        if delay_override is not None:
+            raise SimulationError(
+                "delay overrides require the single-process path "
+                "(sharded worlds carry no Byzantine behaviors)"
+            )
+        if not 0 <= recipient < self._n:
+            raise SimulationError(f"recipient {recipient} out of range")
+        send_time = self._sim.now
+        delay = self._policy.delay(sender, recipient, payload, send_time)
+        self.messages_sent += 1
+        if delay == INF:
+            return
+        if delay < 0:
+            raise SimulationError(f"policy produced negative delay {delay}")
+        deliver_time = quantize(
+            max(send_time + delay, self._common_offset)
+        )
+        self._sim.schedule_at(
+            deliver_time,
+            self._emit_remote,
+            order_key=digest(payload),
+            label="shard-out",
+            args=(sender, payload, recipient, recipient + 1),
+            transient=True,
+        )
+
+    def multicast(
+        self,
+        sender: PartyId,
+        payload: Any,
+        *,
+        include_self: bool = True,
+        delay_override: float | None = None,
+    ) -> None:
+        if delay_override is not None:
+            raise SimulationError(
+                "delay overrides require the single-process path "
+                "(sharded worlds carry no Byzantine behaviors)"
+            )
+        # Local fan-out (plus self-delivery): the stock fast paths.
+        super().multicast(sender, payload, include_self=include_self)
+        # Remote fan-out: price each range through the same policy and
+        # fold equal-delay runs into one outbox event each, mirroring
+        # ``_multicast_runs``' INF/negative/quantize rules.
+        send_time = self._sim.now
+        offset = self._common_offset
+        policy = self._policy
+        schedule_at = self._sim.schedule_at
+        for remote in self._remote_ranges:
+            delays = policy.delays_for_multicast(
+                sender, remote, payload, send_time
+            )
+            self.messages_sent += len(remote)
+            base = remote.start
+            order_key = None
+            prev_delay: float | None = None
+            deliver_time = 0.0
+            start = 0
+            for idx, delay in enumerate(delays):
+                if delay == prev_delay:
+                    continue
+                if idx > start and deliver_time != INF:
+                    if order_key is None:
+                        order_key = digest(payload)
+                    schedule_at(
+                        deliver_time,
+                        self._emit_remote,
+                        order_key=order_key,
+                        label="shard-out",
+                        args=(sender, payload, base + start, base + idx),
+                        transient=True,
+                    )
+                start = idx
+                prev_delay = delay
+                if delay == INF:
+                    deliver_time = INF
+                else:
+                    if delay < 0:
+                        raise SimulationError(
+                            f"policy produced negative delay {delay}"
+                        )
+                    deliver_time = quantize(max(send_time + delay, offset))
+            end = len(delays)
+            if end > start and deliver_time != INF:
+                if order_key is None:
+                    order_key = digest(payload)
+                schedule_at(
+                    deliver_time,
+                    self._emit_remote,
+                    order_key=order_key,
+                    label="shard-out",
+                    args=(sender, payload, base + start, base + end),
+                    transient=True,
+                )
+
+    def _emit_remote(
+        self, sender: PartyId, payload: Any, lo: int, hi: int
+    ) -> None:
+        """An outbox event fired: the run's delivery instant is *now*.
+
+        The folded copies are accounted as logical events here (the
+        destination's injection counts them again; the coordinator
+        subtracts the routed copies once, so the merged
+        ``events_processed`` matches the single-process count exactly).
+        """
+        self._sim.note_logical_events(hi - lo - 1)
+        self.outbuf.append((sender, payload, lo, hi))
+
+
+class _ShardWorld(World):
+    """A worker's view of the world: global n/f/PKI, local party range."""
+
+    def __init__(self, *, lo: int, hi: int, **kwargs):
+        self._lo = lo
+        self._hi = hi
+        super().__init__(**kwargs)
+
+    def _build_registry(self, n: int) -> KeyRegistry:
+        return _ShardRegistry(n)
+
+    def _build_network(self, delay_policy) -> Network:
+        return ShardNetwork(
+            self.sim,
+            delay_policy,
+            n=self.n,
+            byzantine=self.byzantine,
+            start_offsets=self.start_offsets,
+            instrumentation=self.instrumentation,
+            fault_injector=None,
+            reliable_link=None,
+            lo=self._lo,
+            hi=self._hi,
+        )
+
+    def populate_local(self, party_factory) -> None:
+        """Instantiate and start only this shard's party range.
+
+        Byzantine ids are crash-from-start by construction (scripted
+        behaviors force ``shards=1``), so they are simply skipped — their
+        inbox stays ``None`` and every copy addressed to them vanishes at
+        delivery, exactly like the single-process path.
+        """
+        self._populated = True
+        for pid in range(self._lo, self._hi):
+            if pid in self.byzantine:
+                continue
+            agent = party_factory(self, pid)
+            self.agents[pid] = agent
+            self.network.attach(pid, agent.deliver)
+            self.sim.schedule_at(
+                self.start_offsets[pid],
+                lambda a=agent, p=pid: self._run_start_step(a, p),
+                label=f"start p{pid}",
+            )
+
+
+def _split_range(lo: int, hi: int, bounds: list[tuple[int, int]]):
+    """Split a party range into per-destination-shard pieces."""
+    for dst, (shard_lo, shard_hi) in enumerate(bounds):
+        piece_lo = max(lo, shard_lo)
+        piece_hi = min(hi, shard_hi)
+        if piece_lo < piece_hi:
+            yield dst, piece_lo, piece_hi
+
+
+def _shard_main(conn, spec: dict) -> None:
+    """Entry point of one worker process: run the loop, ship failures.
+
+    Any exception inside the loop is reported to the coordinator as an
+    ``("error", traceback)`` message (instead of a silent worker death
+    that would deadlock the barrier) and re-raised.
+    """
+    try:
+        _shard_loop(conn, spec)
+    except Exception:
+        import traceback
+
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except OSError:
+            pass
+        raise
+
+
+def _shard_loop(conn, spec: dict) -> None:
+    """The worker loop: build the local world, then serve barrier steps.
+
+    Protocol (all messages are small picklable tuples over a duplex
+    pipe):
+
+    * worker -> coordinator: ``("ready", next_time)`` once after setup;
+      then ``("stepped", out, fresh, next_time)`` after every step, where
+      ``out`` maps destination shard -> ``(defs, recs)`` (``defs`` are
+      first-crossing ``(ref, payload)`` pairs, ``recs`` are
+      ``(sender, ref, lo, hi)`` run records, all at the step's instant)
+      and ``fresh`` is the issued-signature group dict; finally
+      ``("done", summary)``.
+    * coordinator -> worker: ``("step", T, inbound, issued)`` — merge
+      ``issued``, inject each inbound record at instant ``T``, run the
+      local simulator up to ``T``; or ``("finish",)``.
+    """
+    index: int = spec["index"]
+    bounds: list[tuple[int, int]] = spec["bounds"]
+    lo, hi = bounds[index]
+    parent = spec["instrumentation"]
+    world = _ShardWorld(
+        lo=lo,
+        hi=hi,
+        n=spec["n"],
+        f=spec["f"],
+        delay_policy=spec["delay_policy"],
+        byzantine=spec["byzantine"],
+        start_offsets=spec["start_offsets"],
+        instrumentation=Instrumentation(
+            name=parent["name"],
+            rounds=False,
+            transcripts=False,
+            envelopes=False,
+            recycle_events=parent["recycle_events"],
+            timeline=parent["timeline"],
+            batch_deliveries=parent["batch_deliveries"],
+        ),
+        protocol_name=spec["protocol_name"],
+    )
+    world.populate_local(spec["party_factory"])
+    sim = world.sim
+    net: ShardNetwork = world.network
+    registry: _ShardRegistry = world.registry
+    instrumentation = world.instrumentation
+    # Payload ref tables: inbound per source shard, outbound per
+    # destination shard.  Outbound tables key by ``id`` with the pin list
+    # holding a strong reference (so the id cannot be recycled); a
+    # payload therefore crosses each (src, dst) pair at most once.
+    in_refs: dict[int, list[Any]] = {}
+    out_refs: dict[int, dict[int, int]] = {}
+    out_pins: dict[int, list[Any]] = {}
+    conn.send(("ready", sim.next_event_time()))
+    while True:
+        msg = conn.recv()
+        if msg[0] == "finish":
+            honest = world.honest_parties()
+            conn.send((
+                "done",
+                {
+                    "commits": {
+                        p.id: p.committed_value
+                        for p in honest
+                        if p.has_committed
+                    },
+                    "commit_times": {
+                        p.id: p.commit_global_time
+                        for p in honest
+                        if p.has_committed
+                    },
+                    "messages_sent": net.messages_sent,
+                    "final_time": sim.now,
+                    "events_processed": sim.events_processed,
+                    "events_recycled": sim.events_recycled,
+                    "bucket_appends": sim.bucket_appends,
+                    "heap_pushes_avoided": sim.heap_pushes_avoided,
+                    "deliveries_batched": net.deliveries_batched,
+                    "delivery_runs_batched": net.delivery_runs_batched,
+                    "quorum_checks": instrumentation.quorum_checks,
+                    "votes_batched": instrumentation.votes_batched,
+                    "equivocations_detected": (
+                        instrumentation.equivocations_detected
+                    ),
+                },
+            ))
+            conn.close()
+            return
+        _, step_time, inbound, issued = msg
+        if issued:
+            registry.merge_issued(issued)
+        for src, defs, recs in inbound:
+            table = in_refs.setdefault(src, [])
+            for ref, payload in defs:
+                assert ref == len(table)
+                table.append(world.intern_payload(payload))
+            for sender, ref, run_lo, run_hi in recs:
+                payload = table[ref]
+                sim.schedule_at(
+                    step_time,
+                    net._deliver_many,
+                    order_key=digest(payload),
+                    label="shard-in",
+                    args=(sender, range(run_lo, run_hi), payload),
+                    transient=True,
+                )
+        sim.run(until=step_time)
+        out: dict[int, tuple[list, list]] = {}
+        if net.outbuf:
+            for sender, payload, run_lo, run_hi in net.outbuf:
+                for dst, piece_lo, piece_hi in _split_range(
+                    run_lo, run_hi, bounds
+                ):
+                    chunk = out.get(dst)
+                    if chunk is None:
+                        chunk = out[dst] = ([], [])
+                    table = out_refs.setdefault(dst, {})
+                    ref = table.get(id(payload))
+                    if ref is None:
+                        ref = len(table)
+                        table[id(payload)] = ref
+                        out_pins.setdefault(dst, []).append(payload)
+                        chunk[0].append((ref, payload))
+                    chunk[1].append((sender, ref, piece_lo, piece_hi))
+            net.outbuf.clear()
+        conn.send((
+            "stepped", out, registry.take_fresh(), sim.next_event_time()
+        ))

@@ -1,0 +1,267 @@
+"""Shard-count independence parity suite.
+
+Sharded execution (``World(shards=k)``) is a pure performance mode: the
+same configuration must yield the same ``RunResult`` outcomes — commits,
+commit times, final time — and the same merged schedule-invariant
+counters (``messages_sent``, ``events_processed``, ``quorum_checks``)
+for every shard count, preset and timeline backend.  Counters that
+describe *how* work was batched locally (``deliveries_batched``,
+``bucket_appends``, ``events_recycled``) legitimately differ: a shard
+only batches its local slice of a fan-out.
+
+The suite also pins the forced-``shards=1`` rules — every feature whose
+semantics need global per-copy visibility must silently fall back — and
+the coordinator's zero-delay convergence (same-instant cross-shard
+cascades re-step until quiescent).
+"""
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.protocols.brb_2round import Brb2Round
+from repro.protocols.psync.vbb_5f1 import PsyncVbb5f1
+from repro.sim.coordinator import shard_bounds
+from repro.sim.delays import FixedDelay, GstDelay, PerLinkDelay, UniformDelay
+from repro.sim.instrumentation import Instrumentation
+from repro.sim.runner import World, run_broadcast
+
+CASES = {
+    "brb_2round": (Brb2Round, 13, 4, {}),
+    "vbb_5f1": (PsyncVbb5f1, 11, 2, {"big_delta": 1.0}),
+}
+
+#: RunResult fields that must be identical for every shard count.
+INVARIANT_FIELDS = (
+    "commits",
+    "commit_global_times",
+    "final_time",
+    "messages_sent",
+    "events_processed",
+    "quorum_checks",
+    "votes_batched",
+    "equivocations_detected",
+)
+
+
+def _run(case, *, shards, instrumentation, delay=None, **kwargs):
+    protocol, n, f, extra = CASES[case]
+    return run_broadcast(
+        n=n,
+        f=f,
+        party_factory=protocol.factory(
+            broadcaster=0, input_value="v", **extra
+        ),
+        delay_policy=delay if delay is not None else FixedDelay(1.0),
+        instrumentation=instrumentation,
+        shards=shards,
+        **kwargs,
+    )
+
+
+class TestShardBounds:
+    def test_partition_covers_every_party_once(self):
+        for n in (2, 3, 10, 17, 10001):
+            for k in (1, 2, 3, 4, 7):
+                if k > n:
+                    continue
+                bounds = shard_bounds(n, k)
+                assert len(bounds) == k
+                assert bounds[0][0] == 0
+                assert bounds[-1][1] == n
+                for (_, hi), (lo, _) in zip(bounds, bounds[1:]):
+                    assert hi == lo
+                sizes = [hi - lo for lo, hi in bounds]
+                assert max(sizes) - min(sizes) <= 1
+
+
+class TestShardCountIndependence:
+    @pytest.mark.parametrize("case", sorted(CASES))
+    @pytest.mark.parametrize("timeline", ["bucket", "heap"])
+    def test_perf_preset_parity(self, case, timeline):
+        instrumentation = lambda: Instrumentation(  # noqa: E731
+            name="perf", rounds=False, transcripts=False,
+            recycle_events=True, timeline=timeline,
+        )
+        baseline = _run(case, shards=1, instrumentation=instrumentation())
+        assert baseline.shards == 1
+        assert baseline.shard_batches_exchanged == 0
+        assert baseline.all_honest_committed()
+        for shards in (2, 4):
+            result = _run(
+                case, shards=shards, instrumentation=instrumentation()
+            )
+            assert result.shards == shards
+            assert result.shard_batches_exchanged > 0
+            assert result.timeline == timeline
+            for field in INVARIANT_FIELDS:
+                assert getattr(result, field) == getattr(
+                    baseline, field
+                ), field
+
+    @pytest.mark.parametrize("case", sorted(CASES))
+    def test_batch_deliveries_off_parity(self, case):
+        instrumentation = lambda: Instrumentation(  # noqa: E731
+            name="perf", rounds=False, transcripts=False,
+            recycle_events=True, batch_deliveries=False,
+        )
+        baseline = _run(case, shards=1, instrumentation=instrumentation())
+        result = _run(case, shards=2, instrumentation=instrumentation())
+        assert result.shards == 2
+        assert baseline.deliveries_batched == 0
+        assert result.deliveries_batched == 0
+        for field in INVARIANT_FIELDS:
+            assert getattr(result, field) == getattr(baseline, field), field
+
+    def test_per_link_delay_parity(self):
+        protocol, n, f, _ = CASES["brb_2round"]
+        links = {
+            (s, r): 0.5 + ((3 * s + 5 * r) % 7) * 0.25
+            for s in range(n)
+            for r in range(n)
+            if s != r
+        }
+        delay = PerLinkDelay(links, default=1.0)
+        results = [
+            _run(
+                "brb_2round", shards=k, instrumentation="perf", delay=delay
+            )
+            for k in (1, 2, 4)
+        ]
+        baseline = results[0]
+        assert baseline.all_honest_committed()
+        for result in results[1:]:
+            for field in INVARIANT_FIELDS:
+                assert getattr(result, field) == getattr(
+                    baseline, field
+                ), field
+
+    def test_zero_delay_cascades_converge(self):
+        # All-zero delays make every cross-shard cascade land at the
+        # same instant: the coordinator must re-step t=0 to quiescence.
+        # Intra-instant delivery order differs from the single-process
+        # interleaving (documented), so only outcomes are pinned.
+        baseline = _run(
+            "brb_2round", shards=1, instrumentation="perf",
+            delay=FixedDelay(0.0),
+        )
+        result = _run(
+            "brb_2round", shards=2, instrumentation="perf",
+            delay=FixedDelay(0.0),
+        )
+        assert result.shards == 2
+        assert result.commits == baseline.commits
+        assert result.commit_global_times == baseline.commit_global_times
+        assert result.final_time == baseline.final_time == 0.0
+        assert result.messages_sent == baseline.messages_sent
+
+    def test_crash_from_start_byzantine_parity(self):
+        byzantine = frozenset({3, 7})
+        results = [
+            _run(
+                "brb_2round", shards=k, instrumentation="perf",
+                byzantine=byzantine,
+            )
+            for k in (1, 2, 4)
+        ]
+        baseline = results[0]
+        assert baseline.all_honest_committed()
+        assert set(baseline.commits) == set(range(13)) - byzantine
+        for result in results[1:]:
+            assert result.shards > 1
+            for field in INVARIANT_FIELDS:
+                assert getattr(result, field) == getattr(
+                    baseline, field
+                ), field
+
+    def test_until_horizon_parity(self):
+        baseline = _run(
+            "brb_2round", shards=1, instrumentation="perf", until=1.5
+        )
+        result = _run(
+            "brb_2round", shards=2, instrumentation="perf", until=1.5
+        )
+        assert result.shards == 2
+        assert baseline.final_time == result.final_time == 1.5
+        assert result.commits == baseline.commits
+        assert result.messages_sent == baseline.messages_sent
+        assert result.events_processed == baseline.events_processed
+
+
+class TestForcedSingleProcess:
+    def _world(self, *, shards=4, **kwargs):
+        kwargs.setdefault("n", 7)
+        kwargs.setdefault("f", 2)
+        kwargs.setdefault("delay_policy", FixedDelay(1.0))
+        kwargs.setdefault("instrumentation", "perf")
+        return World(shards=shards, **kwargs)
+
+    def _populate(self, world, behavior_factory=None):
+        world.populate(
+            Brb2Round.factory(broadcaster=0, input_value="v"),
+            behavior_factory,
+        )
+        return world.shards
+
+    def test_requested_one_stays_one(self):
+        assert self._populate(self._world(shards=1)) == 1
+
+    def test_sharded_when_nothing_forces(self):
+        assert self._populate(self._world()) == 4
+
+    def test_clamped_to_n(self):
+        world = self._world(shards=100)
+        assert self._populate(world) == 7
+
+    def test_full_instrumentation_forces_one(self):
+        assert self._populate(self._world(instrumentation="full")) == 1
+
+    def test_rounds_instrumentation_forces_one(self):
+        assert self._populate(self._world(instrumentation="rounds")) == 1
+
+    def test_unsafe_delay_policy_forces_one(self):
+        world = self._world(delay_policy=UniformDelay(0.5, 1.0, seed=7))
+        assert self._populate(world) == 1
+
+    def test_gst_wrapping_unsafe_policy_forces_one(self):
+        unsafe = GstDelay(
+            gst=2.0, big_delta=1.0,
+            pre_gst=UniformDelay(0.5, 1.0, seed=7),
+        )
+        assert self._populate(self._world(delay_policy=unsafe)) == 1
+
+    def test_gst_wrapping_safe_policy_shards(self):
+        safe = GstDelay(gst=2.0, big_delta=1.0, pre_gst=FixedDelay(0.5))
+        assert self._populate(self._world(delay_policy=safe)) == 4
+
+    def test_staggered_starts_force_one(self):
+        world = self._world(
+            start_offsets=[0.0, 0.1, 0.0, 0.0, 0.0, 0.0, 0.0]
+        )
+        assert self._populate(world) == 1
+
+    def test_behavior_factory_forces_one(self):
+        from repro.sim.process import Agent
+
+        class Silent(Agent):
+            def __init__(self, world, pid):
+                self.world, self.id = world, pid
+
+            def start(self):
+                pass
+
+            def deliver(self, sender, payload):
+                pass
+
+        world = self._world(byzantine=frozenset({3}))
+        assert self._populate(world, lambda w, p: Silent(w, p)) == 1
+
+    def test_monitors_force_one(self):
+        from repro.sim.invariants import AgreementMonitor
+
+        world = self._world(monitors=[AgreementMonitor()])
+        assert self._populate(world) == 1
+
+    def test_max_events_rejected_when_sharded(self):
+        world = self._world()
+        self._populate(world)
+        with pytest.raises(ConfigurationError):
+            world.run(max_events=10)
