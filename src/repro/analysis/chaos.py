@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import json
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any, Callable
 
@@ -411,6 +411,7 @@ def run_chaos_plan(
     input_value: Any = "v",
     tier: str = "good-case",
     reliable: ReliableLink | None = None,
+    shards: int = 1,
 ) -> dict:
     """Run one faulted execution with the full monitor battery attached.
 
@@ -429,10 +430,31 @@ def run_chaos_plan(
     network and stretches the deadline by its retry tail.  Symbolic
     :class:`~repro.sim.faults.CrashLeader` entries are resolved here
     against the protocol's round-robin rotation (broadcaster 0).
+
+    A plan with ``stream="counter"`` switches the run to the shard-safe
+    configuration (good-case tier only): the delay policy draws from a
+    counter stream too, the monitor battery — which needs global commit
+    visibility — is replaced by post-hoc :class:`RunResult`-level checks
+    of the same agreement/validity/termination properties, and
+    ``shards`` selects in-run parallelism.  A counter plan at
+    ``shards=1`` runs the identical schedule single-process, which is
+    exactly the twin the parity tests and bench rows compare against.
     """
     from repro.sim.delays import FixedDelay, UniformDelay
     from repro.sim.runner import World
 
+    counter_mode = plan.stream == "counter"
+    if counter_mode and tier != "good-case":
+        raise ValueError(
+            "counter-stream chaos supports the good-case tier only "
+            "(the viewchange battery needs runtime monitors)"
+        )
+    if shards > 1 and not counter_mode:
+        raise ValueError(
+            "sharded chaos needs a counter-stream plan "
+            '(build it with FaultPlan(..., stream="counter"))'
+        )
+    stream = "counter" if counter_mode else "sequential"
     spec = _spec_for(protocol, tier)
     cls = _protocol_class(protocol)
     plan = plan.resolve_leaders(lambda view: (0 + view - 1) % spec.n)
@@ -440,16 +462,18 @@ def run_chaos_plan(
     deadline = quiet + spec.slack
     kwargs: dict[str, Any] = {}
     if spec.timing == "async":
-        delay_policy = UniformDelay(0.0, 1.0, seed=plan.seed)
+        delay_policy = UniformDelay(0.0, 1.0, seed=plan.seed, stream=stream)
     elif spec.timing == "psync":
         # Stable-period delays strictly under Delta: the view-1 good case
         # must survive every tolerated fault, or validity is vacuous.
-        delay_policy = UniformDelay(0.1, 0.8, seed=plan.seed)
+        delay_policy = UniformDelay(0.1, 0.8, seed=plan.seed, stream=stream)
         kwargs["big_delta"] = spec.big_delta
     else:  # sync: the model's worst tolerated assignment
         delay_policy = FixedDelay(spec.big_delta)
         kwargs["big_delta"] = spec.big_delta
-    if tier == "viewchange":
+    if counter_mode:
+        monitors = []
+    elif tier == "viewchange":
         # Broadcaster-input validity is a *good-case* property: a
         # holdback that starves the (honest) broadcaster through view 1
         # is pre-GST asynchrony, under which a starved broadcaster is
@@ -485,22 +509,33 @@ def run_chaos_plan(
         reliable_link=reliable,
         monitors=monitors,
         protocol_name=protocol,
+        shards=shards,
     )
     world.populate(cls.factory(broadcaster=0, input_value=input_value, **kwargs))
     violation: dict | None = None
     result = None
-    try:
+    if counter_mode:
         result = world.run(until=deadline)
-        world.check_invariants()
-    except InvariantViolation as exc:
-        violation = {
-            "invariant": exc.invariant,
-            "details": exc.details,
-            "protocol": exc.protocol,
-            "party": exc.party,
-            "time": exc.time,
-        }
-        result = world.result()
+        violation = _posthoc_violation(
+            result,
+            plan=plan,
+            protocol=protocol,
+            input_value=input_value,
+            deadline=deadline,
+        )
+    else:
+        try:
+            result = world.run(until=deadline)
+            world.check_invariants()
+        except InvariantViolation as exc:
+            violation = {
+                "invariant": exc.invariant,
+                "details": exc.details,
+                "protocol": exc.protocol,
+                "party": exc.party,
+                "time": exc.time,
+            }
+            result = world.result()
     commit_views = sorted(
         view
         for view in (
@@ -530,7 +565,70 @@ def run_chaos_plan(
         "retransmissions": result.retransmissions,
         "acks_sent": result.acks_sent,
         "retries_exhausted": result.retries_exhausted,
+        "shards": result.shards,
+        "shard_batches_exchanged": result.shard_batches_exchanged,
+        "shard_bytes_sent": result.shard_bytes_sent,
+        "shard_barrier_rounds": result.shard_barrier_rounds,
+        "shard_fallback_reason": result.shard_fallback_reason,
     }
+
+
+def _posthoc_violation(
+    result,
+    *,
+    plan: FaultPlan,
+    protocol: str,
+    input_value: Any,
+    deadline: float,
+) -> dict | None:
+    """RunResult-level invariant checks for monitor-less (sharded) runs.
+
+    The same three properties the good-case monitor battery enforces,
+    checked on the merged outcome instead of mid-run: one committed
+    value (agreement), the broadcaster's input when it is honest and
+    uncrashed (validity), and every non-exempt honest party committed by
+    the deadline (termination).  Plan-crashed parties are spent fault
+    budget, exactly as :attr:`~repro.sim.runner.World.faulty_ids`
+    exempts them for the monitors.
+    """
+    exempt = plan.crashed_parties() | result.byzantine
+    values = set(result.commits.values())
+    if len(values) > 1:
+        return {
+            "invariant": "agreement",
+            "details": (
+                f"conflicting commit values {sorted(map(repr, values))}"
+            ),
+            "protocol": protocol,
+            "party": None,
+            "time": None,
+        }
+    if 0 not in exempt and values and values != {input_value}:
+        return {
+            "invariant": "validity",
+            "details": (
+                f"honest broadcaster input {input_value!r} but committed "
+                f"{next(iter(values))!r}"
+            ),
+            "protocol": protocol,
+            "party": None,
+            "time": None,
+        }
+    missing = [
+        p for p in result.honest_ids
+        if p not in result.commits and p not in exempt
+    ]
+    if missing:
+        return {
+            "invariant": "termination",
+            "details": (
+                f"parties {missing} uncommitted at deadline {deadline}"
+            ),
+            "protocol": protocol,
+            "party": missing[0],
+            "time": deadline,
+        }
+    return None
 
 
 def _chaos_point(
@@ -539,6 +637,7 @@ def _chaos_point(
     seed: int,
     instrumentation: str = "perf",
     tier: str = "good-case",
+    shards: int = 1,
 ) -> dict:
     """One grid point: generate a tolerated plan for ``seed``, run it."""
     if tier == "viewchange":
@@ -565,7 +664,14 @@ def _chaos_point(
             }
         return record
     plan = random_fault_plan(protocol, seed)
-    return run_chaos_plan(protocol, plan, instrumentation=instrumentation)
+    if shards > 1:
+        # Same primitives and seed, shard-safe randomness: the plan's
+        # generator draws are already spent, only the injector's and
+        # delay policy's per-copy streams change representation.
+        plan = replace(plan, stream="counter")
+    return run_chaos_plan(
+        protocol, plan, instrumentation=instrumentation, shards=shards
+    )
 
 
 def sweep_chaos(
@@ -575,6 +681,7 @@ def sweep_chaos(
     engine: SweepEngine | None = None,
     instrumentation: str = "perf",
     tier: str = "good-case",
+    shards: int = 1,
 ) -> list[dict]:
     """The chaos grid: seeded tolerated plans across the protocol specs.
 
@@ -602,13 +709,16 @@ def sweep_chaos(
             )
     # Good-case task keys keep their pre-tier shape so the engine's
     # per-key seed derivation (and with it every pinned sweep outcome)
-    # is unchanged.
+    # is unchanged — ``shards`` deliberately stays out of the key too,
+    # so a sharded sweep replays exactly the plans the single-process
+    # sweep would draw.
     key_tag = "chaos" if tier == "good-case" else f"chaos-{tier}"
     tasks = [
         SweepTask(
             _chaos_point,
             dict(
-                protocol=name, instrumentation=instrumentation, tier=tier
+                protocol=name, instrumentation=instrumentation,
+                tier=tier, shards=shards,
             ),
             key=(key_tag, name, index),
             inject_seed=True,
@@ -655,8 +765,14 @@ def shrink_failing_plan(
     instrumentation: str = "perf",
     tier: str = "good-case",
     reliable: ReliableLink | None = None,
+    shards: int = 1,
 ) -> FaultPlan:
-    """Shrink against the real oracle: does the run still violate?"""
+    """Shrink against the real oracle: does the run still violate?
+
+    ``shards`` replays candidates in the mode that found the violation
+    (``FaultPlan.without`` preserves the plan's stream, so a sharded
+    counter-stream reproducer shrinks as one).
+    """
 
     def still_fails(candidate: FaultPlan) -> bool:
         record = run_chaos_plan(
@@ -665,6 +781,7 @@ def shrink_failing_plan(
             instrumentation=instrumentation,
             tier=tier,
             reliable=reliable,
+            shards=shards,
         )
         return record["violation"] is not None
 
@@ -841,6 +958,7 @@ def run_chaos(
     shrink: bool = True,
     tiers: tuple[str, ...] = ("good-case",),
     emit_dir: str | None = None,
+    shards: int = 1,
 ) -> dict:
     """Run the chaos sweep and summarize (the ``repro chaos`` command).
 
@@ -869,6 +987,9 @@ def run_chaos(
                 engine=engine,
                 instrumentation=instrumentation,
                 tier=tier,
+                # The viewchange battery needs runtime monitors, which
+                # force one process; only the good-case tier shards.
+                shards=shards if tier == "good-case" else 1,
             )
         )
     violations = []
@@ -878,16 +999,20 @@ def run_chaos(
         entry = dict(row)
         if shrink:
             tier = row.get("tier", "good-case")
+            row_shards = row.get("shards", 1)
             if tier == "viewchange":
                 plan = random_viewchange_plan(row["protocol"], row["seed"])
             else:
                 plan = random_fault_plan(row["protocol"], row["seed"])
+                if row_shards > 1:
+                    plan = replace(plan, stream="counter")
             try:
                 minimal = shrink_failing_plan(
                     row["protocol"],
                     plan,
                     instrumentation=instrumentation,
                     tier=tier,
+                    shards=row_shards,
                 )
             except ValueError:
                 # The monitor battery alone did not reproduce (e.g. the

@@ -14,7 +14,13 @@ per grid point).  Rows come in ``full`` and ``perf`` instrumentation
 variants at the larger sizes; ``speedup_perf_vs_full`` quantifies what
 the observability side effects cost at each size, and the n >= 201 rows
 run perf-only (full-mode transcripts at that scale measure the observer,
-not the simulator).
+not the simulator).  Rows tagged ``delay="uniform"`` price every copy
+through a counter-stream :class:`~repro.sim.delays.UniformDelay` (a pure
+per-link hash, identical on every executor), and ``fault="chaos"`` rows
+run the pinned tolerated fault plan — both come in single-process and
+sharded twins so the randomized and faulted paths have tracked
+wall-clock comparisons, with ``shard_bytes_sent`` /
+``shard_barrier_rounds`` recording the barrier wire cost.
 
 The previous file's ``baseline`` section is preserved across runs (the
 committed baseline is the pre-cache seed), so the perf trajectory is
@@ -51,6 +57,8 @@ from repro.analysis.sweeps import sweep_latency_distribution
 from repro.crypto.messages import clear_digest_cache, digest_stats
 from repro.protocols.brb_2round import Brb2Round
 from repro.protocols.psync.vbb_5f1 import PsyncVbb5f1
+from repro.sim.delays import UniformDelay
+from repro.sim.faults import Crash, DuplicateLink, FaultPlan, ReorderJitter
 
 REPO_ROOT = Path(__file__).resolve().parents[3]
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_core.json"
@@ -63,6 +71,52 @@ REPS_XLARGE = 3
 #: The n > 2001 frontier rows run minutes per rep (the sharded n=10001
 #: point is ~3 min even across 4 workers): one rep, no median.
 REPS_FRONTIER = 1
+
+#: Seeds for the randomized grid rows.  Pinned so the tracked numbers
+#: are reproducible draw for draw: counter-stream hashes make the same
+#: (seed, sender, recipient, counter) tuple price identically on every
+#: executor, so the sharded row replays its single-process twin exactly.
+BENCH_DELAY_SEED = 2026
+BENCH_CHAOS_SEED = 77
+
+
+def _bench_delay_policy(tag: str):
+    """Delay policy for a grid row's ``delay`` tag (fresh per run).
+
+    Counter streams are pure hashes but the per-link counters still
+    tick, so a policy object must never be reused across timed reps —
+    the second rep would continue the counters and price a different
+    schedule.  ``"fixed"`` returns ``None`` (the model's worst-case
+    fixed delay, the historical bench default).
+    """
+    if tag == "fixed":
+        return None
+    if tag == "uniform":
+        return UniformDelay(
+            0.05, 1.0, seed=BENCH_DELAY_SEED, stream="counter"
+        )
+    raise ValueError(f"unknown bench delay tag {tag!r}")
+
+
+def _chaos_bench_plan(n: int) -> FaultPlan:
+    """The pinned tolerated fault plan behind the ``fault="chaos"`` rows.
+
+    One non-broadcaster crash with recovery, Bernoulli duplicate echoes
+    and bounded reorder jitter across the first two time units — enough
+    to keep the injector's per-copy path hot for the whole run without
+    threatening termination.  ``stream="counter"`` makes the plan
+    shard-safe, so the sharded chaos rows replay this exact schedule.
+    """
+    return FaultPlan(
+        crashes=(Crash(party=n - 1, at=0.2, recover=1.2),),
+        duplicates=(
+            DuplicateLink(start=0.0, end=2.0, prob=0.25, echo_delay=0.05),
+        ),
+        jitters=(ReorderJitter(jitter=0.25, start=0.0, end=2.0),),
+        seed=BENCH_CHAOS_SEED,
+        stream="counter",
+    )
+
 
 #: (label, protocol class, measure kwargs, instrumentation modes).  f is
 #: the largest fault budget each protocol's resilience bound admits at
@@ -88,6 +142,22 @@ CONFIGS = [
     # stores) only fits through the per-shard O(n^2/k) memory split.
     ("brb_2round", Brb2Round, dict(n=2001, f=666, shards=2), ["perf"]),
     ("brb_2round", Brb2Round, dict(n=10001, f=3333, shards=4), ["perf"]),
+    # Shard-safe randomness: counter-stream UniformDelay prices each
+    # copy as a pure hash of (seed, sender, recipient, link counter), so
+    # the sharded row replays its single-process twin's schedule exactly
+    # — the wall-clock pair below is the comparison the counter streams
+    # exist for.  The chaos rows add the pinned tolerated fault plan
+    # (crash + duplicate echoes + reorder jitter, counter streams) so a
+    # sharded run with the injector hot is a tracked number too.
+    ("brb_2round", Brb2Round, dict(n=2001, f=666, delay="uniform"),
+     ["perf"]),
+    ("brb_2round", Brb2Round,
+     dict(n=2001, f=666, delay="uniform", shards=2), ["perf"]),
+    ("brb_2round", Brb2Round,
+     dict(n=1001, f=333, delay="uniform", fault="chaos"), ["perf"]),
+    ("brb_2round", Brb2Round,
+     dict(n=1001, f=333, delay="uniform", fault="chaos", shards=2),
+     ["perf"]),
     ("psync_vbb_5f1", PsyncVbb5f1, dict(n=4, f=1, big_delta=1.0), ["full"]),
     ("psync_vbb_5f1", PsyncVbb5f1, dict(n=16, f=3, big_delta=1.0), ["full"]),
     (
@@ -108,6 +178,13 @@ SMOKE_CONFIGS = [
     # to end (fork, lockstep instants, batch routing, counter merge); the
     # gate asserts its shard_batches_exchanged > 0.
     ("brb_2round", Brb2Round, dict(n=31, f=10, shards=2), ["perf"]),
+    # Sharded counter-stream points: random delays (and, on the second
+    # row, the pinned chaos plan) under the coordinator barrier.  The CI
+    # gate asserts both exchanged batches and the chaos row's commits.
+    ("brb_2round", Brb2Round,
+     dict(n=31, f=10, delay="uniform", shards=2), ["perf"]),
+    ("brb_2round", Brb2Round,
+     dict(n=31, f=10, delay="uniform", fault="chaos", shards=2), ["perf"]),
 ]
 
 #: Latency-distribution grid: seeded random-delay percentiles per point,
@@ -141,8 +218,21 @@ def measure_one(
     reps: int = REPS,
     profile: bool = False,
 ) -> dict:
+    measure_kwargs = dict(kwargs)
+    delay_tag = measure_kwargs.pop("delay", "fixed")
+    fault_tag = measure_kwargs.pop("fault", "none")
+    if fault_tag not in ("none", "chaos"):
+        raise ValueError(f"unknown bench fault tag {fault_tag!r}")
+    fault_plan = (
+        _chaos_bench_plan(measure_kwargs["n"])
+        if fault_tag == "chaos" else None
+    )
     measure = lambda: measure_round_good_case(  # noqa: E731
-        cls, instrumentation=instrumentation, **kwargs
+        cls,
+        instrumentation=instrumentation,
+        delay_policy=_bench_delay_policy(delay_tag),
+        fault_plan=fault_plan,
+        **measure_kwargs,
     )
     measure()  # warm-up (and JIT-less caches)
     walls = []
@@ -161,12 +251,21 @@ def measure_one(
 
     row = {
         "protocol": label,
-        **{k: v for k, v in kwargs.items()},
+        **{k: v for k, v in measure_kwargs.items()},
+        "delay": delay_tag,
+        "fault": fault_tag,
         # Effective values from the run itself: a row whose configuration
         # forces single-process execution reports shards=1 here even if
-        # the grid asked for more.
+        # the grid asked for more (and says why in the fallback reason).
         "shards": meas.result.shards,
         "shard_batches_exchanged": meas.result.shard_batches_exchanged,
+        "shard_bytes_sent": meas.result.shard_bytes_sent,
+        "shard_barrier_rounds": meas.result.shard_barrier_rounds,
+        "shard_fallback_reason": meas.result.shard_fallback_reason,
+        # Outcome fields: the randomized and faulted rows assert their
+        # own health (every live party commits one distinct value).
+        "commits": len(meas.result.commits),
+        "commit_values": len(set(meas.result.commits.values())),
         "instrumentation": instrumentation,
         "wall_seconds": round(wall, 6),
         "events_processed": events,
@@ -187,10 +286,11 @@ def measure_one(
         "deliveries_batched": meas.result.deliveries_batched,
         "delivery_runs_batched": meas.result.delivery_runs_batched,
         "votes_batched": meas.result.votes_batched,
-        # Fault-engine counters ride along so a benched run that somehow
-        # carries a plan is visible in the tracked rows (0s otherwise).
+        # Fault-engine counters: nonzero exactly on the fault="chaos"
+        # rows (the pinned plan's injections), 0s everywhere else.
         "faults_injected": meas.result.faults_injected,
         "messages_dropped": meas.result.messages_dropped,
+        "messages_duplicated": meas.result.messages_duplicated,
         # Reliable-channel counters: all 0 on tracked runs (the channel
         # is opt-in and benches run without it); a nonzero here means a
         # bench configuration grew a link policy.
@@ -222,12 +322,19 @@ def _profile_one(measure) -> str:
 def _print_row(row: dict) -> None:
     sharding = (
         f" shards={row['shards']} batches={row['shard_batches_exchanged']}"
+        f" wire={row['shard_bytes_sent']}B"
+        f" rounds={row['shard_barrier_rounds']}"
         if row.get("shards", 1) > 1
         else ""
     )
+    tags = ""
+    if row.get("delay", "fixed") != "fixed":
+        tags += f" delay={row['delay']}"
+    if row.get("fault", "none") != "none":
+        tags += f" fault={row['fault']} injected={row['faults_injected']}"
     print(
         f"{row['protocol']:>14} n={row['n']:<3} f={row['f']:<3}"
-        f" {row['instrumentation']:>6}"
+        f" {row['instrumentation']:>6}{tags}"
         f" wall={row['wall_seconds']*1000:8.2f}ms"
         f" events/s={row['events_per_second']:>10.0f}"
         f" digests={row['digests_computed']}"
@@ -277,7 +384,8 @@ def run_grid(
                 profile=profile,
             ),
             key=(label, kwargs["n"], kwargs["f"],
-                 kwargs.get("shards", 1), mode),
+                 kwargs.get("shards", 1), kwargs.get("delay", "fixed"),
+                 kwargs.get("fault", "none"), mode),
         )
         for label, cls, kwargs, modes in configs
         for mode in modes
@@ -311,14 +419,18 @@ def _annotate_mode_speedups(rows: list[dict]) -> None:
     observability overhead.
     """
     full_by_key = {
-        (r["protocol"], r["n"], r["f"]): r
+        (r["protocol"], r["n"], r["f"],
+         r.get("delay", "fixed"), r.get("fault", "none")): r
         for r in rows
         if r["instrumentation"] == "full" and r.get("shards", 1) == 1
     }
     for row in rows:
         if row["instrumentation"] != "perf" or row.get("shards", 1) > 1:
             continue
-        full = full_by_key.get((row["protocol"], row["n"], row["f"]))
+        full = full_by_key.get(
+            (row["protocol"], row["n"], row["f"],
+             row.get("delay", "fixed"), row.get("fault", "none"))
+        )
         if full and row["wall_seconds"] > 0:
             row["speedup_perf_vs_full"] = round(
                 full["wall_seconds"] / row["wall_seconds"], 2
@@ -330,12 +442,14 @@ def _annotate_baseline_speedups(
 ) -> None:
     base_by_key = {
         (r["protocol"], r["n"], r["f"], r.get("shards", 1),
+         r.get("delay", "fixed"), r.get("fault", "none"),
          r.get("instrumentation", "full")): r
         for r in baseline_rows
     }
     for row in rows:
         key = (row["protocol"], row["n"], row["f"],
-               row.get("shards", 1), row["instrumentation"])
+               row.get("shards", 1), row.get("delay", "fixed"),
+               row.get("fault", "none"), row["instrumentation"])
         base = base_by_key.get(key)
         if base and row["wall_seconds"] > 0:
             row["speedup_vs_baseline"] = round(
@@ -422,6 +536,9 @@ def run_core_bench(
     if profiles:
         sections = [
             f"== {row['protocol']} n={row['n']} f={row['f']}"
+            f" shards={row.get('shards', 1)}"
+            f" delay={row.get('delay', 'fixed')}"
+            f" fault={row.get('fault', 'none')}"
             f" [{row['instrumentation']}] ==\n{text}"
             for row, text in profiles
         ]

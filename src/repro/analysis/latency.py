@@ -87,23 +87,32 @@ def measure_round_good_case(
     until: float | None = None,
     instrumentation: str | None = None,
     shards: int = 1,
+    delay_policy: Any = None,
+    fault_plan: Any = None,
     **protocol_kwargs: Any,
 ) -> LatencyMeasurement:
     """Good-case latency (Canetti-Rabin rounds) under async / psync.
 
     With ``instrumentation="perf"`` the run records no steps, so
     ``round_latency`` comes back ``None`` (commits and message counts are
-    unaffected — that is the mode's contract).  ``shards`` is an explicit
-    parameter (never folded into ``protocol_kwargs``): it selects sharded
-    in-run parallelism on the world, not a protocol knob, and silently
-    falls back to one process when the configuration forces it.
+    unaffected — that is the mode's contract).  ``shards``,
+    ``delay_policy`` and ``fault_plan`` are explicit parameters (never
+    folded into ``protocol_kwargs``): they configure the world, not the
+    protocol.  An explicit ``delay_policy`` overrides the model's
+    (benchmarks use this to pin a seeded ``UniformDelay``), and a
+    ``fault_plan`` compiles into the world's injector; sharding falls
+    back to one process when either forces it (see
+    ``RunResult.shard_fallback_reason``).
     """
-    if model is None:
-        model = AsynchronyModel()
-    if isinstance(model, PartialSynchronyModel):
-        policy = model.stable_policy()
+    if delay_policy is not None:
+        policy = delay_policy
     else:
-        policy = model.policy()
+        if model is None:
+            model = AsynchronyModel()
+        if isinstance(model, PartialSynchronyModel):
+            policy = model.stable_policy()
+        else:
+            policy = model.policy()
     result = run_broadcast(
         n=n,
         f=f,
@@ -116,6 +125,7 @@ def measure_round_good_case(
         until=until,
         instrumentation=instrumentation,
         shards=shards,
+        fault_plan=fault_plan,
     )
     return LatencyMeasurement(
         protocol=protocol_cls.__name__,

@@ -143,6 +143,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         base_seed=args.base_seed,
         tiers=tiers,
         emit_dir=args.emit_reproducers,
+        shards=args.shards,
     )
     by_protocol: dict[str, int] = {}
     injected = 0
@@ -337,6 +338,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["full", "rounds", "perf"],
         default="perf",
         help="observability preset for each faulted run",
+    )
+    p.add_argument(
+        "--shards", type=int, default=1,
+        help="worker processes per faulted run (good-case tier only; "
+        ">1 switches plans to counter streams and swaps the monitor "
+        "battery for post-hoc RunResult checks)",
     )
     p.set_defaults(fn=_cmd_chaos)
 

@@ -798,6 +798,35 @@ def digest(obj: Any) -> bytes:
     return digest_ex(obj)[0]
 
 
+def stable_digest(obj: Any) -> bytes | None:
+    """Digest of ``obj`` when it is deeply immutable, else ``None``.
+
+    The sharded wire's export half: a sender ships a payload's digest
+    alongside the payload only when the stability flag certifies the
+    digest can never go stale, so the receiving worker may seed its own
+    cache with it (:func:`seed_digest`) instead of re-walking the value.
+    """
+    value, stable = digest_ex(obj)
+    return value if stable else None
+
+
+def seed_digest(obj: Any, value: bytes) -> None:
+    """Pre-seed the identity digest cache: ``digest(obj)`` is ``value``.
+
+    The sharded wire's import half: ``value`` must come from
+    :func:`stable_digest` on a value *equal* to ``obj`` (a pickle
+    round-trip of it).  Stability and the canonical encoding are both
+    functions of content alone, so the transferred digest is exactly
+    what a local walk would compute — seeding it just skips the walk,
+    which is what keeps an unpickled certificate's first digest O(1)
+    instead of O(size).  Values the cache would not hold anyway
+    (scalars) are ignored.
+    """
+    if _cacheable(obj):
+        if _CACHE.put(obj, value):
+            digest_stats.cache_evictions += 1
+
+
 def short_digest(obj: Any) -> str:
     """First 8 hex chars of :func:`digest`; for debugging and repr only."""
     return digest(obj).hex()[:8]

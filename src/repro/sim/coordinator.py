@@ -3,26 +3,42 @@
 :func:`run_sharded` executes one populated-but-deferred
 :class:`~repro.sim.runner.World` (``shards=k``) across ``k`` forked
 worker processes (:func:`repro.sim.shard._shard_main`), advancing all
-shards in lockstep one quantized instant at a time:
+shards in lockstep one *window* at a time:
 
-1. every worker reports its local timeline's next event time;
-2. the coordinator picks the global minimum ``T`` and tells every worker
-   to run exactly up to ``T`` (all pending events are at ``>= T``, so a
-   step processes precisely the instant-``T`` work, including any
-   zero-delay cascades it triggers at ``T``);
-3. cross-shard runs whose delivery instant is ``T`` fire as outbox
-   records during the step; the coordinator routes them (plus freshly
-   issued signature groups) and **re-steps the same instant** until no
-   shard produces new cross-shard traffic — only then does time advance.
+1. every worker reports its next pending instant — the earlier of its
+   local timeline's head and its oldest undelivered inbound record;
+2. the coordinator picks the global minimum ``T`` and the window
+   ``[T, T + L)``, where the lookahead ``L`` is the delay policy's
+   :meth:`~repro.sim.delays.DelayPolicy.min_delay` (shaved by a
+   quantization guard): a message sent inside the window cannot land
+   before the window ends, so every worker with work inside the window
+   runs the whole span between barriers.  Quiet shards are skipped
+   without a round-trip (barrier coalescing), and issued-signature
+   groups destined for a skipped shard wait in its pending queue until
+   its next step (always at or before the first message that could
+   reference them — a record referencing a signature lands no earlier
+   than the end of the window that issued it);
+3. cross-shard sends are recorded *at send time* with their delivery
+   instant on the wire; the coordinator routes them (plus freshly
+   issued signature groups) to the destination queues after each round.
+   With ``L == 0`` (no minimum delay) the window degenerates to one
+   instant and the coordinator re-steps it until no new traffic lands
+   at ``T`` — the exact lockstep protocol positive lookahead avoids.
+
+Wire accounting: every barrier message is one explicitly pickled frame
+(:func:`repro.sim.shard._send_msg`), and the coordinator meters both
+directions into ``RunResult.shard_bytes_sent``;
+``RunResult.shard_barrier_rounds`` counts step rounds (one round = one
+batch of step/stepped exchanges over one window or instant).
 
 The barrier is the deterministic timeline itself: workers never race,
 every delivery instant is identical to the single-process schedule, and
 the per-shard counters merge into one
 :class:`~repro.sim.runner.RunResult` whose outcome fields are
-indistinguishable from a ``shards=1`` run (``events_processed`` counts
-each routed copy once at its source and once at its destination, so the
-merge subtracts the routed copies; ``final_time`` is the horizon when one
-was set and events remained beyond it, matching ``Simulator.run``).
+indistinguishable from a ``shards=1`` run (each routed copy is counted
+exactly once, at its destination, so ``events_processed`` sums;
+``final_time`` is the horizon when one was set and events remained
+beyond it, matching ``Simulator.run``).
 
 The fork start method is required: party factories are closures over
 protocol classes and parameters, which cross into workers by address
@@ -41,11 +57,16 @@ __all__ = ["shard_bounds", "run_sharded"]
 
 
 def _recv(conn):
-    """Receive one worker message, surfacing shipped worker failures."""
-    msg = conn.recv()
+    """Receive one worker frame, surfacing shipped worker failures.
+
+    Returns ``(message, frame size)`` so the caller can meter the pipe.
+    """
+    from repro.sim.shard import _recv_msg
+
+    msg, nbytes = _recv_msg(conn)
     if msg[0] == "error":
         raise SimulationError(f"shard worker failed:\n{msg[1]}")
-    return msg
+    return msg, nbytes
 
 
 def shard_bounds(n: int, shards: int) -> list[tuple[int, int]]:
@@ -64,10 +85,20 @@ def shard_bounds(n: int, shards: int) -> list[tuple[int, int]]:
     return bounds
 
 
+#: Margin shaved off the delay policy's minimum delay before it is used
+#: as the barrier lookahead: :func:`repro.sim.clock.quantize` rounds a
+#: delivery instant to 12 decimals, which can pull it up to ``5e-13``
+#: *below* ``send_time + min_delay()``.  The guard dwarfs that slack, so
+#: a record produced inside a window provably lands at or after the
+#: window's end.
+_LOOKAHEAD_GUARD = 1e-9
+
+
 def run_sharded(world: World, *, until: float | None = None) -> RunResult:
     """Run a ``shards > 1`` world to quiescence (or a horizon)."""
     shards = world.shards
     bounds = shard_bounds(world.n, shards)
+    lookahead = max(0.0, world._delay_policy.min_delay() - _LOOKAHEAD_GUARD)
     parent_instr = world.instrumentation
     ctx = multiprocessing.get_context("fork")
     conns = []
@@ -85,6 +116,8 @@ def run_sharded(world: World, *, until: float | None = None) -> RunResult:
                 "start_offsets": list(world.start_offsets),
                 "protocol_name": world.protocol_name,
                 "party_factory": world._party_factory,
+                "fault_plan": world.fault_plan,
+                "until": until,
                 "instrumentation": {
                     "name": parent_instr.name,
                     "recycle_events": parent_instr.recycle_events,
@@ -92,7 +125,7 @@ def run_sharded(world: World, *, until: float | None = None) -> RunResult:
                     "batch_deliveries": parent_instr.batch_deliveries,
                 },
             }
-            from repro.sim.shard import _shard_main
+            from repro.sim.shard import _send_msg, _shard_main
 
             proc = ctx.Process(
                 target=_shard_main, args=(child_conn, spec), daemon=True
@@ -102,59 +135,121 @@ def run_sharded(world: World, *, until: float | None = None) -> RunResult:
             conns.append(parent_conn)
             procs.append(proc)
 
+        bytes_sent = 0
         next_times: list[float | None] = []
         for conn in conns:
-            tag, next_time = _recv(conn)
+            (tag, next_time), nbytes = _recv(conn)
             assert tag == "ready"
             next_times.append(next_time)
+            bytes_sent += nbytes
 
         batches = 0
-        copies = 0
+        barrier_rounds = 0
         horizon_hit = False
-        # Issued-signature groups not yet broadcast: drained into the
-        # next round of "step" messages (workers merge them before
-        # injecting, so a signature always lands before any message
-        # that references it is verified).
-        carry_issued: dict[bytes, int] = {}
+        # Issued-signature groups each worker has not yet received:
+        # delivered with the worker's next "step" (workers merge them
+        # before injecting, so a signature always lands no later than
+        # the first message that could reference it — a message carrying
+        # it arrives via inbound, which always comes with a step).  The
+        # producer is skipped: its own issued set already holds them.
+        pending_issued: list[dict[bytes, int]] = [
+            {} for _ in range(shards)
+        ]
         inbound: list[list] = [[] for _ in range(shards)]
+        # Earliest delivery instant among a worker's queued (not yet
+        # flushed) inbound records; a worker's *effective* next time is
+        # the min of this and its reported next time.
+        inbound_min: list[float | None] = [None] * shards
+
+        def effective_next(index: int) -> float | None:
+            t = next_times[index]
+            m = inbound_min[index]
+            if m is not None and (t is None or m < t):
+                return m
+            return t
+
         while True:
-            live = [t for t in next_times if t is not None]
+            live = [
+                t
+                for t in (effective_next(i) for i in range(shards))
+                if t is not None
+            ]
             if not live:
                 break
             step_time = min(live)
             if until is not None and step_time > until:
                 horizon_hit = True
                 break
-            # Step the instant, re-stepping while cross-shard traffic
-            # lands at it (zero-delay cascades converge here: each
-            # routed record is strictly consumed by its destination's
-            # next sub-step, and a quiescent sub-step ends the instant).
+            window_end = step_time + lookahead
+            # Step the window.  With positive lookahead one round
+            # suffices — traffic produced inside the window lands at or
+            # after its end, so the loop re-checks and finds no shard
+            # with in-window work.  With ``lookahead == 0`` the window
+            # is the single instant ``T`` and the loop re-steps it while
+            # cross-shard traffic keeps landing at it (zero-delay
+            # cascades converge: each routed record is consumed by its
+            # destination's next round).  Only workers with work inside
+            # the window participate; under a horizon, workers whose
+            # next instant lies beyond it are left untouched.
             while True:
-                issued = carry_issued
-                carry_issued = {}
-                for index, conn in enumerate(conns):
-                    conn.send(("step", step_time, inbound[index], issued))
-                inbound = [[] for _ in range(shards)]
-                produced = False
-                for index, conn in enumerate(conns):
-                    tag, out, fresh, next_time = _recv(conn)
-                    assert tag == "stepped"
-                    next_times[index] = next_time
-                    for payload_digest, mask in fresh.items():
-                        carry_issued[payload_digest] = (
-                            carry_issued.get(payload_digest, 0) | mask
-                        )
-                    for dst, (defs, recs) in out.items():
-                        inbound[dst].append((index, defs, recs))
-                        batches += len(recs)
-                        copies += sum(r[3] - r[2] for r in recs)
-                        produced = True
-                if not produced:
+                stepped = []
+                for index in range(shards):
+                    t = effective_next(index)
+                    if t is None:
+                        continue
+                    if t != step_time and t >= window_end:
+                        continue
+                    if until is not None and t > until:
+                        continue
+                    stepped.append(index)
+                if not stepped:
                     break
+                barrier_rounds += 1
+                for index in stepped:
+                    issued = pending_issued[index]
+                    if issued:
+                        pending_issued[index] = {}
+                    bytes_sent += _send_msg(
+                        conns[index],
+                        (
+                            "step", step_time, window_end,
+                            inbound[index], issued,
+                        ),
+                    )
+                    inbound[index] = []
+                    inbound_min[index] = None
+                for index in stepped:
+                    msg, nbytes = _recv(conns[index])
+                    tag, out, fresh, next_time = msg
+                    assert tag == "stepped"
+                    bytes_sent += nbytes
+                    next_times[index] = next_time
+                    if fresh:
+                        for other in range(shards):
+                            if other == index:
+                                continue
+                            pending = pending_issued[other]
+                            for payload_digest, mask in fresh.items():
+                                pending[payload_digest] = (
+                                    pending.get(payload_digest, 0) | mask
+                                )
+                    for dst, (defs, recs, times) in out.items():
+                        inbound[dst].append((index, defs, recs, times))
+                        batches += len(recs) // 4
+                        earliest = min(times)
+                        if (
+                            inbound_min[dst] is None
+                            or earliest < inbound_min[dst]
+                        ):
+                            inbound_min[dst] = earliest
 
         for conn in conns:
-            conn.send(("finish",))
-        summaries = [_recv(conn)[1] for conn in conns]
+            bytes_sent += _send_msg(conn, ("finish",))
+        summaries = []
+        for conn in conns:
+            msg, nbytes = _recv(conn)
+            summaries.append(msg[1])
+            bytes_sent += nbytes
         for proc in procs:
             proc.join()
     finally:
@@ -185,9 +280,7 @@ def run_sharded(world: World, *, until: float | None = None) -> RunResult:
         start_offsets=list(world.start_offsets),
         messages_sent=sum(s["messages_sent"] for s in summaries),
         final_time=final_time,
-        events_processed=(
-            sum(s["events_processed"] for s in summaries) - copies
-        ),
+        events_processed=sum(s["events_processed"] for s in summaries),
         events_recycled=sum(s["events_recycled"] for s in summaries),
         bucket_appends=sum(s["bucket_appends"] for s in summaries),
         heap_pushes_avoided=sum(
@@ -207,6 +300,18 @@ def run_sharded(world: World, *, until: float | None = None) -> RunResult:
         ),
         instrumentation=parent_instr.name,
         rounds_recorded=False,
+        faults_injected=sum(s["faults_injected"] for s in summaries),
+        messages_dropped=sum(s["messages_dropped"] for s in summaries),
+        messages_duplicated=sum(
+            s["messages_duplicated"] for s in summaries
+        ),
+        messages_held=sum(s["messages_held"] for s in summaries),
+        partition_windows=(
+            world.fault_injector.partition_windows
+            if world.fault_injector is not None else 0
+        ),
         shards=shards,
         shard_batches_exchanged=batches,
+        shard_bytes_sent=bytes_sent,
+        shard_barrier_rounds=barrier_rounds,
     )

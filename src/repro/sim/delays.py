@@ -13,6 +13,25 @@ delay, subject to the model's constraint:
 A :class:`DelayPolicy` maps ``(sender, recipient, payload, send_time)`` to
 a delay.  Scripted policies (:class:`TableDelay`) reproduce the exact delay
 assignments in the paper's lower-bound constructions.
+
+Randomized policies come in two stream modes:
+
+* ``"sequential"`` (the default, and the historical behavior): one
+  ``random.Random(seed)`` consumed in scheduling order.  Bit-for-bit
+  reproducible on a single process — every tracked latency-distribution
+  percentile was produced this way — but the stream depends on *global*
+  call order, so sharded execution (which prices a sender's local and
+  remote recipients in separate calls, in different worker processes)
+  would diverge; sequential policies force ``shards=1``.
+* ``"counter"``: every copy's uniform variate is a pure SplitMix64-style
+  hash of ``(seed, sender, recipient, k)`` where ``k`` is that directed
+  link's message counter.  ``k`` is shard-invariant — all of a sender's
+  pricing happens in its own shard, in deterministic order, and a link's
+  count never depends on other links' interleaving — so the sharded
+  schedule is *identical to* ``shards=1`` by construction and
+  ``shard_safe()`` returns True.  Migrating a tracked seed from
+  sequential to counter changes its draw values (different generator),
+  which is why the default stays ``"sequential"``.
 """
 from __future__ import annotations
 
@@ -20,6 +39,100 @@ import random
 from typing import Any, Callable, Mapping, Sequence
 
 from repro.types import INF, PartyId
+
+_MASK64 = (1 << 64) - 1
+#: SplitMix64 increment (golden-ratio) and the two finalizer multipliers.
+_GOLDEN = 0x9E3779B97F4A7C15
+_MIX1 = 0xBF58476D1CE4E5B9
+_MIX2 = 0x94D049BB133111EB
+#: Odd 64-bit constants keying the (sender, recipient, counter) tuple
+#: into one word before finalization.
+_KEY_SENDER = 0x8CB92BA72F3D8DD7
+_KEY_RECIPIENT = 0xFF51AFD7ED558CCD
+_KEY_COUNTER = 0xC4CEB9FE1A85EC53
+_INV_2_64 = 1.0 / 2.0**64
+
+
+def splitmix64(x: int) -> int:
+    """The SplitMix64 finalizer: a cheap, well-avalanched 64-bit mix."""
+    x = (x + _GOLDEN) & _MASK64
+    x = ((x ^ (x >> 30)) * _MIX1) & _MASK64
+    x = ((x ^ (x >> 27)) * _MIX2) & _MASK64
+    return x ^ (x >> 31)
+
+
+class CounterStream:
+    """Per-link counter-indexed randomness: pure draws, shard-safe.
+
+    Owns the per-directed-link message counters (``k``) and derives every
+    variate as ``splitmix64(base ^ key(sender, recipient, k))`` — a pure
+    function of ``(seed, salt, sender, recipient, k)``, independent of
+    the global order links are priced in.  ``salt`` separates consumers
+    sharing a seed value (the delay policy and the fault injector draw
+    from unrelated streams even when ``plan.seed == policy seed``).
+
+    Counters live in per-sender lists indexed by recipient (lazily grown)
+    rather than a ``(sender, recipient)``-keyed dict: at n=2001 the tuple
+    keys alone would cost hundreds of MB, while a list row is one pointer
+    per recipient and only senders that actually send pay for one.
+    """
+
+    __slots__ = ("seed", "salt", "_base", "_counters")
+
+    def __init__(self, seed: int, *, salt: int = 0):
+        self.seed = seed
+        self.salt = salt
+        self._base = splitmix64(splitmix64(seed) ^ salt)
+        self._counters: dict[PartyId, list[int]] = {}
+
+    def _row(self, sender: PartyId, recipient: PartyId) -> list[int]:
+        counts = self._counters.get(sender)
+        if counts is None:
+            counts = self._counters[sender] = []
+        if recipient >= len(counts):
+            counts.extend([0] * (recipient + 1 - len(counts)))
+        return counts
+
+    def copy_key(self, sender: PartyId, recipient: PartyId) -> int:
+        """Consume one counter tick on the link; return the copy's key."""
+        counts = self._row(sender, recipient)
+        k = counts[recipient]
+        counts[recipient] = k + 1
+        return (
+            self._base
+            ^ ((sender + 1) * _KEY_SENDER)
+            ^ ((recipient + 1) * _KEY_RECIPIENT)
+            ^ (k * _KEY_COUNTER)
+        ) & _MASK64
+
+    def uniform(self, sender: PartyId, recipient: PartyId) -> float:
+        """One U[0, 1) draw for the link's next copy."""
+        return splitmix64(self.copy_key(sender, recipient)) * _INV_2_64
+
+    def draws(self, sender: PartyId, recipient: PartyId) -> "CopyDraws":
+        """An unbounded pure draw sequence for the link's next copy.
+
+        For consumers needing several variates per copy (the fault
+        injector's primitive chain): one counter tick, then draw ``i``
+        is ``splitmix64(key + i * golden)`` — still pure per
+        ``(link, k, i)``, whatever order copies are processed in.
+        """
+        return CopyDraws(self.copy_key(sender, recipient))
+
+
+class CopyDraws:
+    """A pure per-copy draw sequence (duck-types ``random.Random``'s
+    ``random`` method, which is all the fault injector consumes)."""
+
+    __slots__ = ("_key", "_i")
+
+    def __init__(self, key: int):
+        self._key = key
+        self._i = 0
+
+    def random(self) -> float:
+        self._i += 1
+        return splitmix64((self._key + self._i * _GOLDEN) & _MASK64) * _INV_2_64
 
 
 class DelayPolicy:
@@ -77,6 +190,17 @@ class DelayPolicy:
         """
         return False
 
+    def min_delay(self) -> float:
+        """Lower bound this policy guarantees for *every* delay.
+
+        This is the sharded coordinator's conservative lookahead: a
+        message sent at time ``t`` cannot land before ``t +
+        min_delay()``, so all shards may run a window of that width
+        between barriers instead of synchronizing every instant.  ``0.0``
+        (the safe default) degenerates to per-instant lockstep.
+        """
+        return 0.0
+
 
 class FixedDelay(DelayPolicy):
     """Every message takes exactly ``value`` time units."""
@@ -100,34 +224,96 @@ class FixedDelay(DelayPolicy):
     def shard_safe(self) -> bool:
         return True
 
+    def min_delay(self) -> float:
+        return self.value
+
 
 class UniformDelay(DelayPolicy):
     """Seeded i.i.d. uniform delays in ``[low, high]``.
 
-    Deterministic given the seed: the random stream depends only on the
-    construction order of queries, which the deterministic simulator fixes.
+    Deterministic given the seed.  ``stream`` selects the generator (see
+    the module docstring): ``"sequential"`` (default) consumes one shared
+    ``random.Random`` in scheduling order — the historical behavior every
+    tracked latency-distribution percentile pins, not shard-safe;
+    ``"counter"`` derives each copy's delay purely from
+    ``(seed, sender, recipient, link counter)``, making the policy
+    :meth:`shard_safe` with the sharded schedule identical to
+    ``shards=1`` by construction.
     """
 
-    def __init__(self, low: float, high: float, *, seed: int):
+    def __init__(
+        self, low: float, high: float, *, seed: int, stream: str = "sequential"
+    ):
         if not 0 <= low <= high:
             raise ValueError(f"need 0 <= low <= high, got [{low}, {high}]")
+        if stream not in ("sequential", "counter"):
+            raise ValueError(
+                f"stream must be 'sequential' or 'counter', got {stream!r}"
+            )
         self.low = low
         self.high = high
-        self._rng = random.Random(seed)
+        self.seed = seed
+        self.stream = stream
+        if stream == "counter":
+            self._rng = None
+            self._counter = CounterStream(seed)
+        else:
+            self._rng = random.Random(seed)
+            self._counter = None
 
     def delay(self, sender, recipient, payload, send_time) -> float:
+        if self._counter is not None:
+            span = self.high - self.low
+            return self.low + span * self._counter.uniform(sender, recipient)
         return self._rng.uniform(self.low, self.high)
 
     def delays_for_multicast(
         self, sender, recipients, payload, send_time
     ) -> list[float]:
-        # One uniform draw per recipient, in recipient order: consumes the
-        # RNG stream exactly as n per-recipient calls would.
+        # One uniform draw per recipient, in recipient order: consumes
+        # exactly what n per-recipient calls would (a shared sequential
+        # stream, or one counter tick per link).
+        counter = self._counter
+        if counter is not None:
+            low = self.low
+            span = self.high - self.low
+            # Inlined CounterStream.uniform: the per-copy hash is the
+            # whole cost of a counter-mode fan-out, so the hot loop keeps
+            # everything in locals and touches one counter row.
+            base = counter._base
+            sender_key = base ^ ((sender + 1) * _KEY_SENDER)
+            counts = counter._row(
+                sender, max(recipients) if len(recipients) else 0
+            )
+            out = []
+            append = out.append
+            for recipient in recipients:
+                k = counts[recipient]
+                counts[recipient] = k + 1
+                x = (
+                    sender_key
+                    ^ ((recipient + 1) * _KEY_RECIPIENT)
+                    ^ (k * _KEY_COUNTER)
+                ) & _MASK64
+                x = (x + _GOLDEN) & _MASK64
+                x = ((x ^ (x >> 30)) * _MIX1) & _MASK64
+                x = ((x ^ (x >> 27)) * _MIX2) & _MASK64
+                append(low + span * ((x ^ (x >> 31)) * _INV_2_64))
+            return out
         uniform = self._rng.uniform
         return [uniform(self.low, self.high) for _ in recipients]
 
     def max_honest_delay(self) -> float:
         return self.high
+
+    def shard_safe(self) -> bool:
+        # The counter stream is a pure per-link function; the sequential
+        # stream depends on global pricing order and must stay
+        # single-process.
+        return self.stream == "counter"
+
+    def min_delay(self) -> float:
+        return self.low
 
 
 class PerLinkDelay(DelayPolicy):
@@ -173,6 +359,9 @@ class PerLinkDelay(DelayPolicy):
 
     def shard_safe(self) -> bool:
         return True
+
+    def min_delay(self) -> float:
+        return min([self.default, *self.links.values()])
 
 
 class FunctionDelay(DelayPolicy):
@@ -239,3 +428,9 @@ class GstDelay(DelayPolicy):
         # The cap is a pure function of (requested, send_time); safety
         # reduces to the wrapped pre-GST policy's.
         return self.pre_gst.shard_safe()
+
+    def min_delay(self) -> float:
+        # Both cap branches compute min(requested, bound) with
+        # bound >= big_delta, so the capped delay never drops below
+        # min(pre-GST minimum, Delta).
+        return min(self.pre_gst.min_delay(), self.big_delta)

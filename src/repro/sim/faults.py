@@ -15,11 +15,25 @@ consults at its two seams —
 * the **delivery seam** (``_deliver``): a copy arriving while its
   recipient is inside a crash window is discarded.
 
-Everything is deterministic given the plan's ``seed``: the injector owns
-one ``random.Random`` consumed in scheduling order, which both timeline
-backends replay identically — so the same seed yields the *same*
-post-heal flush schedule on the heap and the bucket calendar
-(``tests/sim/test_faults.py`` pins this down).
+Everything is deterministic given the plan's ``seed``.  The plan's
+``stream`` field selects the generator (mirroring
+:class:`~repro.sim.delays.UniformDelay`'s modes):
+
+* ``"sequential"`` (default, the historical behavior): one
+  ``random.Random`` consumed in scheduling order, which both timeline
+  backends replay identically — so the same seed yields the *same*
+  post-heal flush schedule on the heap and the bucket calendar
+  (``tests/sim/test_faults.py`` pins this down).  Order-dependent, so a
+  sequential plan forces single-process execution.
+* ``"counter"``: each routed copy's draws are a pure hash of
+  ``(seed, sender, recipient, link counter, draw index)`` via
+  :class:`~repro.sim.delays.CounterStream` — independent of global
+  scheduling order, so the *same* fault schedule compiles identically in
+  every worker of a sharded run and :meth:`FaultPlan.shard_safe` returns
+  True.  Every concrete primitive is link-local (its decision reads only
+  the copy's ``(sender, recipient, send_time, deliver_time)``); the one
+  recipient-side decision — discarding arrivals into a crash window — is
+  a pure function of ``(recipient, t)`` and draws nothing.
 
 With no plan attached the injector simply does not exist (``None`` in the
 network), so the no-fault hot path is byte-identical to a build without
@@ -60,10 +74,15 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable
 
 from repro.errors import FaultPlanError
+from repro.sim.delays import CounterStream
 from repro.types import INF, PartyId
 
 #: The union of plan primitives (kept informal: plain frozen dataclasses).
 FaultPrimitive = object
+
+#: Domain-separation salt for counter-stream injectors, so a fault plan
+#: and a delay policy sharing one seed still draw independent streams.
+_FAULT_SALT = 0x5AF7F0A5C3B2D191
 
 
 def _require(condition: bool, message: str, primitive: object) -> None:
@@ -270,10 +289,27 @@ class FaultPlan:
     leader_crashes: tuple[CrashLeader, ...] = ()
     holdbacks: tuple[Holdback, ...] = ()
     seed: int = 0
+    #: Randomness mode: ``"sequential"`` (one shared RNG in scheduling
+    #: order — the historical, order-dependent stream) or ``"counter"``
+    #: (pure per-copy hashes — shard-safe).  See the module docstring.
+    stream: str = "sequential"
 
     # ------------------------------------------------------------------ #
     # introspection
     # ------------------------------------------------------------------ #
+
+    def shard_safe(self) -> bool:
+        """True iff the compiled injector prices copies order-free.
+
+        Counter-stream plans draw every variate purely from the copy's
+        link and counter, so per-shard injectors compiled from the same
+        plan reproduce the single-process fault schedule exactly.
+        Unresolved symbolic leader crashes are excluded (they cannot be
+        compiled at all, and resolution happens before worlds are
+        built).  A sequential plan shares one RNG across all links and
+        must stay single-process.
+        """
+        return self.stream == "counter" and not self.leader_crashes
 
     def primitives(self) -> list[FaultPrimitive]:
         """Every primitive, in the canonical field order."""
@@ -321,6 +357,7 @@ class FaultPlan:
             leader_crashes=drop_one(self.leader_crashes),
             holdbacks=drop_one(self.holdbacks),
             seed=self.seed,
+            stream=self.stream,
         )
 
     def resolve_leaders(
@@ -396,6 +433,11 @@ class FaultPlan:
         Raises :class:`~repro.errors.FaultPlanError` on malformed
         primitives; returns ``self`` so construction can chain.
         """
+        if self.stream not in ("sequential", "counter"):
+            raise FaultPlanError(
+                f"unknown fault stream {self.stream!r} "
+                "(expected 'sequential' or 'counter')"
+            )
 
         def check_party(p: PartyId | None, prim: FaultPrimitive) -> None:
             if p is not None:
@@ -582,6 +624,7 @@ class FaultPlan:
                 for h in self.holdbacks
             ],
             "seed": self.seed,
+            "stream": self.stream,
         }
 
     @classmethod
@@ -645,6 +688,7 @@ class FaultPlan:
                 for h in data.get("holdbacks", ())
             ),
             seed=int(data.get("seed", 0)),
+            stream=data.get("stream", "sequential"),
         )
 
 
@@ -702,10 +746,15 @@ class FaultCounters:
 class FaultInjector:
     """A compiled :class:`FaultPlan`: the network's per-copy oracle.
 
-    One instance per world.  All randomness comes from one
-    ``random.Random(plan.seed)`` consumed in scheduling order, which is
-    identical across timeline backends and instrumentation presets — so
-    a seed pins the entire fault schedule.
+    One instance per world (or, with ``stream="counter"``, one per
+    shard).  With the default sequential stream all randomness comes
+    from one ``random.Random(plan.seed)`` consumed in scheduling order,
+    which is identical across timeline backends and instrumentation
+    presets — so a seed pins the entire fault schedule.  With the
+    counter stream every routed copy draws from a
+    :class:`~repro.sim.delays.CounterStream` keyed by its link, so
+    injectors compiled independently per shard reproduce the same
+    schedule copy for copy.
     """
 
     def __init__(self, plan: FaultPlan, *, n: int) -> None:
@@ -719,7 +768,12 @@ class FaultInjector:
         self.plan = plan
         self.n = n
         self.counters = FaultCounters()
-        self._rng = random.Random(plan.seed)
+        if plan.stream == "counter":
+            self._rng = None
+            self._counter = CounterStream(plan.seed, salt=_FAULT_SALT)
+        else:
+            self._rng = random.Random(plan.seed)
+            self._counter = None
         self._crash_windows: dict[PartyId, CrashWindow] = {}
         for crash in plan.crashes:
             window = self._crash_windows.get(crash.party)
@@ -792,9 +846,18 @@ class FaultInjector:
         delivery; two entries add a duplicate echo.  Applied in a fixed
         primitive order (drop, churn, jitter, holdback, partition hold,
         duplicate) so the RNG stream is a pure function of the schedule.
+
+        In counter mode the copy's variates come from one per-link
+        counter tick: the link counter advances exactly once per routed
+        copy and the draw index walks the primitives, so the outcome
+        depends only on the copy's position in its link's sequence —
+        never on how copies from other links interleave.
         """
         counters = self.counters
-        rng = self._rng
+        rng = (
+            self._counter.draws(sender, recipient)
+            if self._counter is not None else self._rng
+        )
         for drop in self.plan.drops:
             if drop.matches(sender, recipient, send_time):
                 if drop.prob >= 1.0 or rng.random() < drop.prob:

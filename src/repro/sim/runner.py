@@ -85,6 +85,9 @@ class World:
         #: path — see :meth:`_effective_shards`.
         self.requested_shards = shards
         self.shards = 1
+        #: Which forced-``shards=1`` rule fired, when one did (``None``
+        #: while sharding was not requested, or was granted in full).
+        self.shard_fallback_reason: str | None = None
         self._delay_policy = delay_policy
         self._party_factory: PartyFactory | None = None
         self._sharded_result: "RunResult | None" = None
@@ -238,30 +241,50 @@ class World:
 
         Sharding is a pure performance mode: any configured feature whose
         semantics need global per-copy visibility (round accounting,
-        transcripts, envelope capture, monitors, fault injection, the
-        reliable channel), a delay policy whose pricing is not a pure
-        per-link function, scripted Byzantine behaviors, or staggered
-        starts silently falls back to ``shards=1`` — the caller's results
-        are identical either way, sharding only changes the wall clock.
+        transcripts, envelope capture, monitors, a sequential-stream
+        fault plan, the reliable channel), a delay policy whose pricing
+        is not a pure per-link function, scripted Byzantine behaviors,
+        or staggered starts falls back to ``shards=1`` — the caller's
+        results are identical either way, sharding only changes the wall
+        clock.  The rule that fired is recorded as
+        ``shard_fallback_reason`` and surfaced on :class:`RunResult`
+        (``None`` when sharding was never requested or was granted).
+
+        Counter-stream exceptions: a delay policy whose
+        ``shard_safe()`` is True (``FixedDelay``, ``PerLinkDelay``,
+        ``UniformDelay(stream="counter")``) prices copies order-free,
+        and a ``FaultPlan(stream="counter")`` compiles to per-shard
+        injectors replaying one global schedule — both run sharded.
         """
         k = self.requested_shards
         if k <= 1 or self.n < 2:
+            if k > 1:
+                self.shard_fallback_reason = "world-too-small"
             return 1
         instr = self.instrumentation
-        if (
-            self.accountant is not None
-            or instr.records_transcripts
-            or instr.envelopes is not None
-            or instr.monitors
-            or self.fault_plan is not None
-            or self.reliable_link is not None
-            or behavior_factory is not None
-        ):
-            return 1
-        if not self._delay_policy.shard_safe():
-            return 1
-        first = self.start_offsets[0]
-        if any(offset != first for offset in self.start_offsets):
+        reason = None
+        if self.accountant is not None:
+            reason = "rounds-accounting"
+        elif instr.records_transcripts:
+            reason = "transcripts"
+        elif instr.envelopes is not None:
+            reason = "envelopes"
+        elif instr.monitors:
+            reason = "monitors"
+        elif self.fault_plan is not None and not self.fault_plan.shard_safe():
+            reason = "fault-plan"
+        elif self.reliable_link is not None:
+            reason = "reliable-link"
+        elif behavior_factory is not None:
+            reason = "behavior-factory"
+        elif not self._delay_policy.shard_safe():
+            reason = "delay-policy"
+        else:
+            first = self.start_offsets[0]
+            if any(offset != first for offset in self.start_offsets):
+                reason = "start-offsets"
+        if reason is not None:
+            self.shard_fallback_reason = reason
             return 1
         return min(k, self.n)
 
@@ -411,6 +434,7 @@ class World:
             retransmissions=self.network.retransmissions,
             acks_sent=self.network.acks_sent,
             retries_exhausted=self.network.retries_exhausted,
+            shard_fallback_reason=self.shard_fallback_reason,
         )
 
 
@@ -466,6 +490,18 @@ class RunResult:
     #: between them (0 whenever ``shards == 1``).
     shards: int = 1
     shard_batches_exchanged: int = 0
+    #: Which forced-``shards=1`` rule fired when sharding was requested
+    #: but refused (``None`` = never requested, or granted in full).
+    #: One of ``"rounds-accounting"``, ``"transcripts"``,
+    #: ``"envelopes"``, ``"monitors"``, ``"fault-plan"``,
+    #: ``"reliable-link"``, ``"behavior-factory"``, ``"delay-policy"``,
+    #: ``"start-offsets"``, ``"world-too-small"``.
+    shard_fallback_reason: str | None = None
+    #: Coordinator-pipe traffic: bytes framed across the barrier in both
+    #: directions, and the number of barrier sub-step rounds the
+    #: lockstep advance ran (0 whenever ``shards == 1``).
+    shard_bytes_sent: int = 0
+    shard_barrier_rounds: int = 0
 
     @property
     def honest_ids(self) -> list[PartyId]:

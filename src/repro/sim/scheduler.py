@@ -214,6 +214,57 @@ class Simulator:
             self._running = False
         return self._now
 
+    def advance_now(self, time: float) -> None:
+        """Jump virtual time forward without processing any event.
+
+        The sharded worker stamps a cross-shard delivery's instant with
+        this before injecting the copies directly (bypassing the
+        timeline): ``run(until=...)`` stops short of the horizon when
+        the local queue drains first, but the handlers invoked by the
+        delivery read ``now`` to price their own sends.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot move time backwards from {self._now} to {time}"
+            )
+        self._now = time
+
+    def run_before(self, horizon: float) -> float:
+        """Process events strictly before ``horizon``; return final time.
+
+        The sharded worker's window step: the coordinator's lookahead
+        guarantees no cross-shard traffic can land inside the window, so
+        the whole span runs in one call.  Unlike ``run(until=...)``,
+        ``now`` is left at the last processed event's instant — never
+        advanced to the horizon itself — so the merged ``final_time``
+        still reports the last real event.
+        """
+        if self._running:
+            raise SimulationError("simulator is not re-entrant")
+        self._running = True
+        try:
+            peek = self._queue.peek_time
+            pop = self._queue.pop
+            release = self._queue.release
+            while True:
+                next_time = peek()
+                if next_time is None or next_time >= horizon:
+                    break
+                event = pop()
+                assert event is not None
+                self._now = event.time
+                args = event.args
+                if args:
+                    event.action(*args)
+                else:
+                    event.action()
+                self._events_processed += 1
+                if event.transient:
+                    release(event)
+        finally:
+            self._running = False
+        return self._now
+
     def next_event_time(self) -> float | None:
         """Time of the earliest queued event, or ``None`` when empty.
 

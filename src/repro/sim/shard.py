@@ -9,14 +9,15 @@ runs *inside* a worker:
   recipients ride the stock :class:`~repro.sim.network.Network` fast
   paths unchanged; remote recipients (at most two contiguous ranges:
   everything below ``lo`` and everything at/above ``hi``) are priced
-  through the same delay policy and scheduled as *outbox events* in the
-  worker's own timeline.  When an outbox event fires — i.e. when virtual
-  time reaches the copies' delivery instant — the run is appended to
-  ``outbuf`` as a compact ``(sender, payload, lo, hi)`` record for the
-  coordinator to route.  No per-copy objects ever cross the process
-  boundary: a fan-out run travels as one record, and each payload object
-  crosses a given (source, destination) shard pair exactly once (later
-  records carry a small integer ref).
+  through the same delay policy and appended to ``outbuf`` *at send
+  time* as ``(sender, payload, lo, hi, deliver_time)`` records — the
+  delivery instant travels on the wire, so the sending worker's own
+  timeline carries no cross-shard events at all and the receiving worker
+  can schedule the copies wherever its window has not yet run.  No
+  per-copy objects ever cross the process boundary: a fan-out run
+  travels as one record, and each payload object crosses a given
+  (source, destination) shard pair exactly once (later records carry a
+  small integer ref).
 
 * :class:`_ShardRegistry` — the PKI with issued-signature shipping.  The
   ideal-signature model verifies by membership in the issued set, which
@@ -44,9 +45,12 @@ workloads (the parity suite pins this).
 """
 from __future__ import annotations
 
+import heapq
+import pickle
+from array import array
 from typing import Any
 
-from repro.crypto.messages import digest
+from repro.crypto.messages import digest, seed_digest, stable_digest
 from repro.crypto.signatures import KeyRegistry
 from repro.errors import SimulationError
 from repro.sim.clock import quantize
@@ -56,6 +60,24 @@ from repro.sim.runner import World
 from repro.types import INF, PartyId
 
 __all__ = ["ShardNetwork", "_ShardRegistry", "_ShardWorld", "_shard_main"]
+
+
+def _send_msg(conn, msg) -> int:
+    """Frame one barrier message explicitly; returns the frame size.
+
+    Both sides pickle by hand and ship raw bytes (instead of
+    ``Connection.send``) so the coordinator can meter the pipes —
+    ``shard_bytes_sent`` is the sum of these return values.
+    """
+    blob = pickle.dumps(msg, pickle.HIGHEST_PROTOCOL)
+    conn.send_bytes(blob)
+    return len(blob)
+
+
+def _recv_msg(conn) -> tuple[Any, int]:
+    """Inverse of :func:`_send_msg`: ``(message, frame size)``."""
+    blob = conn.recv_bytes()
+    return pickle.loads(blob), len(blob)
 
 
 class _ShardRegistry(KeyRegistry):
@@ -107,10 +129,10 @@ class ShardNetwork(Network):
         super().__init__(*args, **kwargs)
         self._lo = lo
         self._hi = hi
-        #: Cross-shard runs whose delivery instant has been reached, as
-        #: ``(sender, payload, lo, hi)`` records; drained by the worker
-        #: loop after every barrier step.
-        self.outbuf: list[tuple[PartyId, Any, int, int]] = []
+        #: Cross-shard runs recorded at *send* time, as
+        #: ``(sender, payload, lo, hi, deliver_time)`` records; drained
+        #: by the worker loop after every barrier step.
+        self.outbuf: list[tuple[PartyId, Any, int, int, float]] = []
         self._remote_ranges = [
             r for r in (range(0, lo), range(hi, self._n)) if len(r)
         ]
@@ -145,6 +167,9 @@ class ShardNetwork(Network):
         if not 0 <= recipient < self._n:
             raise SimulationError(f"recipient {recipient} out of range")
         send_time = self._sim.now
+        injector = self._injector
+        if injector is not None and injector.block_send(sender, send_time):
+            return  # crash seam, before pricing — like ``_send_one``
         delay = self._policy.delay(sender, recipient, payload, send_time)
         self.messages_sent += 1
         if delay == INF:
@@ -154,13 +179,21 @@ class ShardNetwork(Network):
         deliver_time = quantize(
             max(send_time + delay, self._common_offset)
         )
-        self._sim.schedule_at(
-            deliver_time,
-            self._emit_remote,
-            order_key=digest(payload),
-            label="shard-out",
-            args=(sender, payload, recipient, recipient + 1),
-            transient=True,
+        outbuf = self.outbuf
+        if injector is not None:
+            # Fault seam at the *source*: the copy is dropped, retimed,
+            # or duplicated here, and only the surviving records cross
+            # the barrier — mirroring ``_schedule_copy``.
+            for faulted_time in injector.route(
+                sender, recipient, send_time, deliver_time
+            ):
+                outbuf.append((
+                    sender, payload, recipient, recipient + 1,
+                    quantize(faulted_time),
+                ))
+            return
+        outbuf.append(
+            (sender, payload, recipient, recipient + 1, deliver_time)
         )
 
     def multicast(
@@ -178,20 +211,51 @@ class ShardNetwork(Network):
             )
         # Local fan-out (plus self-delivery): the stock fast paths.
         super().multicast(sender, payload, include_self=include_self)
-        # Remote fan-out: price each range through the same policy and
-        # fold equal-delay runs into one outbox event each, mirroring
-        # ``_multicast_runs``' INF/negative/quantize rules.
         send_time = self._sim.now
+        injector = self._injector
+        if injector is not None and injector.party_down(sender, send_time):
+            # Crashed sender: ``super().multicast`` already charged the
+            # one ``block_send`` this fan-out costs (matching the
+            # single-process early return); the remote ranges are never
+            # priced, so no link counter ticks.
+            return
         offset = self._common_offset
         policy = self._policy
-        schedule_at = self._sim.schedule_at
+        outbuf = self.outbuf
+        if injector is not None:
+            # Per-copy remote fan-out: each copy routes through the
+            # fault seam exactly like the single-process per-copy loop
+            # (an injector forces that path there too — no run folding).
+            for remote in self._remote_ranges:
+                delays = policy.delays_for_multicast(
+                    sender, remote, payload, send_time
+                )
+                self.messages_sent += len(remote)
+                for recipient, delay in zip(remote, delays):
+                    if delay == INF:
+                        continue
+                    if delay < 0:
+                        raise SimulationError(
+                            f"policy produced negative delay {delay}"
+                        )
+                    deliver_time = quantize(max(send_time + delay, offset))
+                    for faulted_time in injector.route(
+                        sender, recipient, send_time, deliver_time
+                    ):
+                        outbuf.append((
+                            sender, payload, recipient, recipient + 1,
+                            quantize(faulted_time),
+                        ))
+            return
+        # Remote fan-out: price each range through the same policy and
+        # fold equal-delay runs into one record each, mirroring
+        # ``_multicast_runs``' INF/negative/quantize rules.
         for remote in self._remote_ranges:
             delays = policy.delays_for_multicast(
                 sender, remote, payload, send_time
             )
             self.messages_sent += len(remote)
             base = remote.start
-            order_key = None
             prev_delay: float | None = None
             deliver_time = 0.0
             start = 0
@@ -199,16 +263,10 @@ class ShardNetwork(Network):
                 if delay == prev_delay:
                     continue
                 if idx > start and deliver_time != INF:
-                    if order_key is None:
-                        order_key = digest(payload)
-                    schedule_at(
+                    outbuf.append((
+                        sender, payload, base + start, base + idx,
                         deliver_time,
-                        self._emit_remote,
-                        order_key=order_key,
-                        label="shard-out",
-                        args=(sender, payload, base + start, base + idx),
-                        transient=True,
-                    )
+                    ))
                 start = idx
                 prev_delay = delay
                 if delay == INF:
@@ -221,29 +279,36 @@ class ShardNetwork(Network):
                     deliver_time = quantize(max(send_time + delay, offset))
             end = len(delays)
             if end > start and deliver_time != INF:
-                if order_key is None:
-                    order_key = digest(payload)
-                schedule_at(
-                    deliver_time,
-                    self._emit_remote,
-                    order_key=order_key,
-                    label="shard-out",
-                    args=(sender, payload, base + start, base + end),
-                    transient=True,
+                outbuf.append(
+                    (sender, payload, base + start, base + end, deliver_time)
                 )
 
-    def _emit_remote(
-        self, sender: PartyId, payload: Any, lo: int, hi: int
+    def _deliver_many_checked(
+        self, sender: PartyId, recipients: range, payload: Any
     ) -> None:
-        """An outbox event fired: the run's delivery instant is *now*.
+        """Injector-aware twin of ``_deliver_many`` for inbound runs.
 
-        The folded copies are accounted as logical events here (the
-        destination's injection counts them again; the coordinator
-        subtracts the routed copies once, so the merged
-        ``events_processed`` matches the single-process count exactly).
+        Cross-shard copies route through the fault seam at their
+        *source*; the only per-copy check left at the destination is the
+        recipient-side crash window (``block_delivery``), applied in the
+        same inbox-then-window order as ``_deliver`` so the fault
+        counters merge to the single-process totals exactly.
         """
-        self._sim.note_logical_events(hi - lo - 1)
-        self.outbuf.append((sender, payload, lo, hi))
+        self._sim.note_logical_events(len(recipients) - 1)
+        injector = self._injector
+        now = self._sim.now
+        inboxes = self._inboxes
+        delivered = 0
+        for recipient in recipients:
+            inbox = inboxes[recipient]
+            if inbox is None:
+                continue
+            if injector.block_delivery(recipient, now):
+                continue
+            delivered += 1
+            inbox(sender, payload)
+        self.messages_delivered += delivered
+
 
 
 class _ShardWorld(World):
@@ -265,7 +330,7 @@ class _ShardWorld(World):
             byzantine=self.byzantine,
             start_offsets=self.start_offsets,
             instrumentation=self.instrumentation,
-            fault_injector=None,
+            fault_injector=self.fault_injector,
             reliable_link=None,
             lo=self._lo,
             hi=self._hi,
@@ -315,7 +380,7 @@ def _shard_main(conn, spec: dict) -> None:
         import traceback
 
         try:
-            conn.send(("error", traceback.format_exc()))
+            _send_msg(conn, ("error", traceback.format_exc()))
         except OSError:
             pass
         raise
@@ -324,19 +389,40 @@ def _shard_main(conn, spec: dict) -> None:
 def _shard_loop(conn, spec: dict) -> None:
     """The worker loop: build the local world, then serve barrier steps.
 
-    Protocol (all messages are small picklable tuples over a duplex
-    pipe):
+    Protocol (every message is one explicitly pickled frame over a
+    duplex pipe — see :func:`_send_msg` — so the coordinator can meter
+    the wire):
 
     * worker -> coordinator: ``("ready", next_time)`` once after setup;
       then ``("stepped", out, fresh, next_time)`` after every step, where
-      ``out`` maps destination shard -> ``(defs, recs)`` (``defs`` are
-      first-crossing ``(ref, payload)`` pairs, ``recs`` are
-      ``(sender, ref, lo, hi)`` run records, all at the step's instant)
-      and ``fresh`` is the issued-signature group dict; finally
-      ``("done", summary)``.
-    * coordinator -> worker: ``("step", T, inbound, issued)`` — merge
-      ``issued``, inject each inbound record at instant ``T``, run the
-      local simulator up to ``T``; or ``("finish",)``.
+      ``out`` maps destination shard -> ``(defs, recs, times)`` (``defs``
+      are first-crossing ``(ref, payload, stable digest | None)``
+      triples — the digest seeds the destination's cache so deep
+      payloads are never re-walked; ``recs`` is one packed
+      ``array('q')`` of ``sender, ref, lo, hi`` quadruples and ``times``
+      the matching ``array('d')`` of delivery instants — the integer-ref
+      hot path crosses as machine words, not per-record tuples),
+      ``fresh`` is the issued-signature group dict, and ``next_time``
+      is the earlier of the local timeline's head and the oldest
+      not-yet-delivered inbound record; finally ``("done", summary)``.
+    * coordinator -> worker: ``("step", T, window_end, inbound, issued)``
+      — merge ``issued``, queue the inbound records at their wire
+      delivery instants, then run the window: every local event and
+      queued inbound record strictly before ``window_end`` (the
+      coordinator's delay-policy lookahead guarantees nothing new can
+      land inside it), or — when ``window_end == T`` (no lookahead) —
+      exactly the instant ``T`` inclusive.  Or ``("finish",)``.  Workers
+      with no work inside the window are skipped entirely (barrier
+      coalescing), so a quiet shard costs no round-trip.
+
+    Inbound records bypass the local timeline: they are kept in a plain
+    ``(time, digest, seq)``-ordered heap and merged with local events by
+    the window loop — one ``run(until=...)`` call per inbound instant
+    instead of a full schedule/pop cycle per copy, which is where the
+    per-copy randomized-delay workloads win back the wire cost.  Within
+    one instant, local events drain before inbound copies (the module
+    docstring's documented intra-instant divergence); inbound ties break
+    by content digest, matching the single-process timeline's order key.
     """
     index: int = spec["index"]
     bounds: list[tuple[int, int]] = spec["bounds"]
@@ -360,12 +446,21 @@ def _shard_loop(conn, spec: dict) -> None:
             batch_deliveries=parent["batch_deliveries"],
         ),
         protocol_name=spec["protocol_name"],
+        fault_plan=spec["fault_plan"],
     )
     world.populate_local(spec["party_factory"])
     sim = world.sim
     net: ShardNetwork = world.network
     registry: _ShardRegistry = world.registry
     instrumentation = world.instrumentation
+    injector = world.fault_injector
+    # Inbound runs only need the recipient-side crash seam when a plan
+    # is compiled in; without one the unchecked tight loop is identical
+    # to PR 9's wire behavior.
+    deliver_run = (
+        net._deliver_many_checked if injector is not None
+        else net._deliver_many
+    )
     # Payload ref tables: inbound per source shard, outbound per
     # destination shard.  Outbound tables key by ``id`` with the pin list
     # holding a strong reference (so the id cannot be recycled); a
@@ -373,12 +468,21 @@ def _shard_loop(conn, spec: dict) -> None:
     in_refs: dict[int, list[Any]] = {}
     out_refs: dict[int, dict[int, int]] = {}
     out_pins: dict[int, list[Any]] = {}
-    conn.send(("ready", sim.next_event_time()))
+    until: float | None = spec["until"]
+    # Inbound records not yet delivered, ordered by (delivery instant,
+    # payload digest, arrival seq): a flat heap, merged with the local
+    # timeline by the window loop below.
+    inqueue: list[tuple] = []
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    seq = 0
+    note = sim.note_logical_events
+    _send_msg(conn, ("ready", sim.next_event_time()))
     while True:
-        msg = conn.recv()
+        msg, _ = _recv_msg(conn)
         if msg[0] == "finish":
             honest = world.honest_parties()
-            conn.send((
+            _send_msg(conn, (
                 "done",
                 {
                     "commits": {
@@ -404,47 +508,134 @@ def _shard_loop(conn, spec: dict) -> None:
                     "equivocations_detected": (
                         instrumentation.equivocations_detected
                     ),
+                    "faults_injected": (
+                        injector.faults_injected if injector else 0
+                    ),
+                    "messages_dropped": (
+                        injector.messages_dropped if injector else 0
+                    ),
+                    "messages_duplicated": (
+                        injector.messages_duplicated if injector else 0
+                    ),
+                    "messages_held": (
+                        injector.messages_held if injector else 0
+                    ),
                 },
             ))
             conn.close()
             return
-        _, step_time, inbound, issued = msg
+        _, step_time, window_end, inbound, issued = msg
         if issued:
             registry.merge_issued(issued)
-        for src, defs, recs in inbound:
+        for src, defs, recs, times in inbound:
             table = in_refs.setdefault(src, [])
-            for ref, payload in defs:
+            for ref, payload, value in defs:
                 assert ref == len(table)
-                table.append(world.intern_payload(payload))
-            for sender, ref, run_lo, run_hi in recs:
-                payload = table[ref]
-                sim.schedule_at(
-                    step_time,
-                    net._deliver_many,
-                    order_key=digest(payload),
-                    label="shard-in",
-                    args=(sender, range(run_lo, run_hi), payload),
-                    transient=True,
-                )
-        sim.run(until=step_time)
-        out: dict[int, tuple[list, list]] = {}
+                if value is not None:
+                    # The sender shipped its (stable) digest: seed the
+                    # local cache instead of re-walking the unpickled
+                    # value — for deep payloads (certificates) the walk
+                    # is O(size) per def and was the workers' top
+                    # profile entry.  Interning is skipped too: its
+                    # structural key is the same walk, and digest-keyed
+                    # caches hit by content regardless of identity.
+                    seed_digest(payload, value)
+                else:
+                    payload = world.intern_payload(payload)
+                table.append(payload)
+            for j, deliver_time in enumerate(times):
+                i = 4 * j
+                payload = table[recs[i + 1]]
+                heappush(inqueue, (
+                    deliver_time, digest(payload), seq,
+                    recs[i], recs[i + 2], recs[i + 3], payload,
+                ))
+                seq += 1
+        if window_end == step_time:
+            # No lookahead: run exactly the instant, local events first,
+            # then the inbound copies landing at it (plus any local
+            # cascade they trigger at the same instant).
+            sim.run(until=step_time)
+            if inqueue and inqueue[0][0] <= step_time:
+                sim.advance_now(step_time)
+                while inqueue and inqueue[0][0] <= step_time:
+                    _, _, _, snd, run_lo, run_hi, payload = heappop(
+                        inqueue
+                    )
+                    note(1)
+                    deliver_run(snd, range(run_lo, run_hi), payload)
+                sim.run(until=step_time)
+        elif until is None:
+            # Window mode, no horizon (the hot path): alternate between
+            # draining local events up to the next inbound instant
+            # (inclusive — local first on ties) and delivering that
+            # instant's inbound copies; finish with one ``run_before``
+            # over whatever local tail remains inside the window.
+            while True:
+                head = inqueue[0] if inqueue else None
+                if head is None or head[0] >= window_end:
+                    sim.run_before(window_end)
+                    break
+                instant = head[0]
+                sim.run(until=instant)
+                sim.advance_now(instant)
+                while inqueue and inqueue[0][0] == instant:
+                    _, _, _, snd, run_lo, run_hi, payload = heappop(
+                        inqueue
+                    )
+                    note(1)
+                    deliver_run(snd, range(run_lo, run_hi), payload)
+        else:
+            # Window mode under a horizon: same merge, but nothing past
+            # ``until`` may run (the coordinator reports the horizon as
+            # hit and stamps ``final_time`` itself).
+            while True:
+                head_time = inqueue[0][0] if inqueue else None
+                next_local = sim.next_event_time()
+                if next_local is not None and (
+                    head_time is None or next_local <= head_time
+                ):
+                    instant = next_local
+                else:
+                    if head_time is None:
+                        break
+                    instant = head_time
+                if instant >= window_end or instant > until:
+                    break
+                sim.run(until=instant)
+                sim.advance_now(instant)
+                while inqueue and inqueue[0][0] == instant:
+                    _, _, _, snd, run_lo, run_hi, payload = heappop(
+                        inqueue
+                    )
+                    note(1)
+                    deliver_run(snd, range(run_lo, run_hi), payload)
+        out: dict[int, tuple[list, array, array]] = {}
         if net.outbuf:
-            for sender, payload, run_lo, run_hi in net.outbuf:
+            for sender, payload, run_lo, run_hi, deliver_time in (
+                net.outbuf
+            ):
                 for dst, piece_lo, piece_hi in _split_range(
                     run_lo, run_hi, bounds
                 ):
                     chunk = out.get(dst)
                     if chunk is None:
-                        chunk = out[dst] = ([], [])
+                        chunk = out[dst] = ([], array("q"), array("d"))
                     table = out_refs.setdefault(dst, {})
                     ref = table.get(id(payload))
                     if ref is None:
                         ref = len(table)
                         table[id(payload)] = ref
                         out_pins.setdefault(dst, []).append(payload)
-                        chunk[0].append((ref, payload))
-                    chunk[1].append((sender, ref, piece_lo, piece_hi))
+                        chunk[0].append(
+                            (ref, payload, stable_digest(payload))
+                        )
+                    chunk[1].extend((sender, ref, piece_lo, piece_hi))
+                    chunk[2].append(deliver_time)
             net.outbuf.clear()
-        conn.send((
-            "stepped", out, registry.take_fresh(), sim.next_event_time()
+        next_time = sim.next_event_time()
+        if inqueue and (next_time is None or inqueue[0][0] < next_time):
+            next_time = inqueue[0][0]
+        _send_msg(conn, (
+            "stepped", out, registry.take_fresh(), next_time
         ))

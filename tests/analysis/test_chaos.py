@@ -77,6 +77,54 @@ class TestRunChaosPlan:
             run_chaos_plan("no_such_protocol", FaultPlan())
 
 
+class TestShardedChaos:
+    """Counter-stream plans under sharded execution.
+
+    A ``stream="counter"`` plan swaps the monitor battery for post-hoc
+    RunResult checks and runs shard-safe: the sharded row must replay
+    its single-process twin's schedule — same commits and fault
+    counters — while actually exchanging cross-shard batches.
+    """
+
+    def _counter_plan(self, seed: int) -> FaultPlan:
+        from dataclasses import replace
+
+        return replace(
+            random_fault_plan("brb_2round", seed), stream="counter"
+        )
+
+    @pytest.mark.parametrize("seed", [1, 5])
+    def test_sharded_run_matches_single_process(self, seed):
+        plan = self._counter_plan(seed)
+        single = run_chaos_plan("brb_2round", plan, shards=1)
+        sharded = run_chaos_plan("brb_2round", plan, shards=2)
+        assert single["violation"] is None
+        assert sharded["violation"] is None
+        assert sharded["shards"] == 2
+        assert sharded["shard_batches_exchanged"] > 0
+        assert sharded["shard_bytes_sent"] > 0
+        assert sharded["shard_fallback_reason"] is None
+        for field in (
+            "commits",
+            "faults_injected",
+            "messages_dropped",
+            "messages_duplicated",
+            "messages_held",
+        ):
+            assert sharded[field] == single[field], field
+
+    def test_sequential_plan_rejected_when_sharded(self):
+        plan = random_fault_plan("brb_2round", 1)
+        assert plan.stream == "sequential"
+        with pytest.raises(ValueError):
+            run_chaos_plan("brb_2round", plan, shards=2)
+
+    def test_counter_plan_restricted_to_good_case_tier(self):
+        plan = self._counter_plan(1)
+        with pytest.raises(ValueError):
+            run_chaos_plan("brb_2round", plan, tier="viewchange")
+
+
 class TestSweepChaos:
     def test_grid_subset_is_clean_and_deterministic(self):
         kwargs = dict(

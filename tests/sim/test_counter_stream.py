@@ -1,0 +1,171 @@
+"""Counter-based randomness: the shard-safe stream primitives.
+
+``CounterStream`` prices each draw as a pure hash of ``(seed, sender,
+recipient, per-link counter)``, so any executor that walks a link's
+copies in the same per-link order reproduces the same values — the
+property that lets ``UniformDelay(stream="counter")`` and counter-stream
+``FaultPlan`` compilations run sharded without schedule drift.  This
+module pins the primitives themselves; the end-to-end shard parity lives
+in ``test_sharded.py``.
+"""
+import pytest
+
+from repro.errors import FaultPlanError
+from repro.sim.delays import CounterStream, UniformDelay, splitmix64
+from repro.sim.faults import Crash, DropLink, FaultPlan
+
+
+class TestSplitmix64:
+    def test_deterministic_and_64_bit(self):
+        for x in (0, 1, 2**63, 2**64 - 1, 0x9E3779B97F4A7C15):
+            a = splitmix64(x)
+            assert a == splitmix64(x)
+            assert 0 <= a < 2**64
+
+    def test_nearby_inputs_decorrelate(self):
+        outputs = {splitmix64(x) for x in range(1000)}
+        assert len(outputs) == 1000
+
+
+class TestCounterStream:
+    def test_same_seed_same_sequence(self):
+        a = CounterStream(42)
+        b = CounterStream(42)
+        seq_a = [a.uniform(3, 7) for _ in range(50)]
+        seq_b = [b.uniform(3, 7) for _ in range(50)]
+        assert seq_a == seq_b
+        assert all(0.0 <= u < 1.0 for u in seq_a)
+
+    def test_links_are_independent(self):
+        # Interleaving draws across links must not change any link's
+        # own sequence — the heart of shard-safety: each shard walks
+        # only its own links, in its own order.
+        solo = CounterStream(7)
+        expected = {
+            (s, r): [solo.uniform(s, r) for _ in range(10)]
+            for s in range(3)
+            for r in range(3)
+            if s != r
+        }
+        interleaved = CounterStream(7)
+        got = {link: [] for link in expected}
+        for _ in range(10):
+            for link in expected:
+                got[link].append(interleaved.uniform(*link))
+        assert got == expected
+
+    def test_seed_and_salt_produce_distinct_streams(self):
+        base = [CounterStream(1).uniform(0, 1) for _ in range(1)]
+        other_seed = [CounterStream(2).uniform(0, 1)]
+        salted = [CounterStream(1, salt=99).uniform(0, 1)]
+        assert base != other_seed
+        assert base != salted
+
+    def test_draws_walk_within_one_copy(self):
+        # One copy_key, many in-copy draws (what the injector's
+        # primitives consume): deterministic, and distinct from the
+        # next copy's draws.
+        first = CounterStream(5).draws(1, 2)
+        again = CounterStream(5).draws(1, 2)
+        assert [first.random() for _ in range(5)] == [
+            again.random() for _ in range(5)
+        ]
+        stream = CounterStream(5)
+        stream.draws(1, 2)
+        second_copy = stream.draws(1, 2)
+        assert first.random() != second_copy.random()
+
+
+class TestUniformDelayCounterMode:
+    def test_rejects_unknown_stream(self):
+        with pytest.raises(ValueError):
+            UniformDelay(0.1, 1.0, seed=1, stream="quantum")
+
+    def test_shard_safety_by_stream(self):
+        assert not UniformDelay(0.1, 1.0, seed=1).shard_safe()
+        assert UniformDelay(
+            0.1, 1.0, seed=1, stream="counter"
+        ).shard_safe()
+
+    def test_delay_in_bounds_and_seed_pinned(self):
+        a = UniformDelay(0.25, 0.75, seed=11, stream="counter")
+        b = UniformDelay(0.25, 0.75, seed=11, stream="counter")
+        for _ in range(20):
+            d = a.delay(0, 1, None, 0.0)
+            assert d == b.delay(0, 1, None, 0.0)
+            assert 0.25 <= d <= 0.75
+
+    def test_multicast_matches_per_copy_delays(self):
+        # The vectorized fan-out path must price exactly what n calls
+        # to delay() would: both tick the same per-link counters.
+        fanout = UniformDelay(0.05, 1.0, seed=3, stream="counter")
+        single = UniformDelay(0.05, 1.0, seed=3, stream="counter")
+        recipients = [1, 2, 3, 4, 5]
+        vector = fanout.delays_for_multicast(0, recipients, None, 0.0)
+        assert list(vector) == [
+            single.delay(0, r, None, 0.0) for r in recipients
+        ]
+
+    def test_split_fanout_matches_whole_fanout(self):
+        # Sharded worlds call delays_for_multicast once per shard-local
+        # range; the concatenation must equal one whole-fan-out call.
+        whole = UniformDelay(0.05, 1.0, seed=9, stream="counter")
+        split = UniformDelay(0.05, 1.0, seed=9, stream="counter")
+        all_at_once = list(
+            whole.delays_for_multicast(2, range(0, 8), None, 0.0)
+        )
+        piecewise = list(
+            split.delays_for_multicast(2, range(0, 3), None, 0.0)
+        ) + list(split.delays_for_multicast(2, range(3, 8), None, 0.0))
+        assert piecewise == all_at_once
+
+
+class TestFaultPlanStream:
+    def test_default_is_sequential_and_not_shard_safe(self):
+        plan = FaultPlan(crashes=(Crash(party=1, at=0.5),))
+        assert plan.stream == "sequential"
+        assert not plan.shard_safe()
+
+    def test_counter_stream_is_shard_safe(self):
+        plan = FaultPlan(
+            crashes=(Crash(party=1, at=0.5),), stream="counter"
+        )
+        plan.validate(4)
+        assert plan.shard_safe()
+
+    def test_leader_crashes_never_shard_safe(self):
+        from repro.sim.faults import CrashLeader
+
+        plan = FaultPlan(
+            leader_crashes=(CrashLeader(view=1, at=0.0),),
+            stream="counter",
+        )
+        assert not plan.shard_safe()
+
+    def test_validate_rejects_unknown_stream(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(stream="quantum").validate(4)
+
+    def test_json_round_trip_preserves_stream(self):
+        plan = FaultPlan(
+            drops=(DropLink(src=2, prob=0.5),),
+            seed=13,
+            stream="counter",
+        )
+        restored = FaultPlan.from_json(plan.to_json())
+        assert restored == plan
+        assert restored.stream == "counter"
+        assert FaultPlan.from_json(FaultPlan().to_json()).stream == (
+            "sequential"
+        )
+
+    def test_without_preserves_stream(self):
+        drop = DropLink(src=2, prob=0.5)
+        plan = FaultPlan(
+            crashes=(Crash(party=1, at=0.5),),
+            drops=(drop,),
+            stream="counter",
+        )
+        shrunk = plan.without(drop)
+        assert shrunk.drops == ()
+        assert shrunk.stream == "counter"

@@ -21,6 +21,14 @@ from repro.protocols.brb_2round import Brb2Round
 from repro.protocols.psync.vbb_5f1 import PsyncVbb5f1
 from repro.sim.coordinator import shard_bounds
 from repro.sim.delays import FixedDelay, GstDelay, PerLinkDelay, UniformDelay
+from repro.sim.faults import (
+    Crash,
+    DropLink,
+    DuplicateLink,
+    FaultPlan,
+    Holdback,
+    ReorderJitter,
+)
 from repro.sim.instrumentation import Instrumentation
 from repro.sim.runner import World, run_broadcast
 
@@ -40,6 +48,36 @@ INVARIANT_FIELDS = (
     "votes_batched",
     "equivocations_detected",
 )
+
+#: Fault-engine counters: schedule-invariant too once the plan draws
+#: from counter streams (each link's injections are a pure hash, so the
+#: executor split cannot move them).
+FAULT_FIELDS = (
+    "faults_injected",
+    "messages_dropped",
+    "messages_duplicated",
+    "messages_held",
+)
+
+
+def _counter_plan(n: int) -> FaultPlan:
+    """A rich tolerated counter-stream plan: one recovering crash plus
+    every link-local primitive (drop, duplicate echo, jitter, holdback)
+    so the parity suite exercises each injector seam across shards.
+    """
+    return FaultPlan(
+        crashes=(Crash(party=n - 1, at=0.5, recover=2.5),),
+        drops=(DropLink(src=n - 1, prob=0.2, start=2.5, end=4.0),),
+        duplicates=(
+            DuplicateLink(start=0.0, end=3.0, prob=0.2, echo_delay=0.05),
+        ),
+        jitters=(ReorderJitter(jitter=0.3, start=0.0, end=3.0),),
+        holdbacks=(
+            Holdback(src=1, dst=2, start=0.0, end=2.0, flush_delay=0.1),
+        ),
+        seed=21,
+        stream="counter",
+    )
 
 
 def _run(case, *, shards, instrumentation, delay=None, **kwargs):
@@ -186,6 +224,67 @@ class TestShardCountIndependence:
         assert result.events_processed == baseline.events_processed
 
 
+class TestCounterStreamParity:
+    """Randomized-schedule parity: counter streams across shard counts.
+
+    Counter-stream ``UniformDelay`` (and counter-stream fault plans)
+    price every copy as a pure per-link hash, so shards ∈ {1, 2, 4}
+    must replay the identical schedule — including every fault-engine
+    counter when a plan is attached.
+    """
+
+    @pytest.mark.parametrize("case", sorted(CASES))
+    @pytest.mark.parametrize("timeline", ["bucket", "heap"])
+    @pytest.mark.parametrize("with_plan", [False, True])
+    def test_counter_delay_parity(self, case, timeline, with_plan):
+        _, n, _, _ = CASES[case]
+        instrumentation = lambda: Instrumentation(  # noqa: E731
+            name="perf", rounds=False, transcripts=False,
+            recycle_events=True, timeline=timeline,
+        )
+        delay = lambda: UniformDelay(  # noqa: E731
+            0.05, 1.0, seed=17, stream="counter"
+        )
+        plan = _counter_plan(n) if with_plan else None
+        baseline = _run(
+            case, shards=1, instrumentation=instrumentation(),
+            delay=delay(), fault_plan=plan,
+        )
+        assert baseline.shards == 1
+        assert baseline.shard_fallback_reason is None
+        if with_plan:
+            assert baseline.faults_injected > 0
+            assert baseline.messages_duplicated > 0
+            assert baseline.messages_held > 0
+        fields = INVARIANT_FIELDS + (FAULT_FIELDS if with_plan else ())
+        for shards in (2, 4):
+            result = _run(
+                case, shards=shards, instrumentation=instrumentation(),
+                delay=delay(), fault_plan=plan,
+            )
+            assert result.shards == shards
+            assert result.shard_batches_exchanged > 0
+            assert result.timeline == timeline
+            for field in fields:
+                assert getattr(result, field) == getattr(
+                    baseline, field
+                ), field
+
+    def test_wire_counters_meter_the_barrier(self):
+        single = _run("brb_2round", shards=1, instrumentation="perf")
+        assert single.shard_bytes_sent == 0
+        assert single.shard_barrier_rounds == 0
+        sharded = _run("brb_2round", shards=2, instrumentation="perf")
+        assert sharded.shard_bytes_sent > 0
+        assert sharded.shard_barrier_rounds > 0
+        # Coalescing: rounds only count workers actually stepped, so the
+        # round tally can never exceed one per exchanged batch plus the
+        # per-instant convergence rounds — sanity-bound it loosely.
+        assert sharded.shard_barrier_rounds <= (
+            sharded.shard_batches_exchanged + sharded.events_processed
+        )
+
+
 class TestForcedSingleProcess:
     def _world(self, *, shards=4, **kwargs):
         kwargs.setdefault("n", 7)
@@ -202,31 +301,64 @@ class TestForcedSingleProcess:
         return world.shards
 
     def test_requested_one_stays_one(self):
-        assert self._populate(self._world(shards=1)) == 1
+        world = self._world(shards=1)
+        assert self._populate(world) == 1
+        assert world.shard_fallback_reason is None
 
     def test_sharded_when_nothing_forces(self):
-        assert self._populate(self._world()) == 4
+        world = self._world()
+        assert self._populate(world) == 4
+        assert world.shard_fallback_reason is None
 
     def test_clamped_to_n(self):
         world = self._world(shards=100)
         assert self._populate(world) == 7
+        assert world.shard_fallback_reason is None
 
     def test_full_instrumentation_forces_one(self):
-        assert self._populate(self._world(instrumentation="full")) == 1
+        world = self._world(instrumentation="full")
+        assert self._populate(world) == 1
+        assert world.shard_fallback_reason == "rounds-accounting"
 
     def test_rounds_instrumentation_forces_one(self):
-        assert self._populate(self._world(instrumentation="rounds")) == 1
+        world = self._world(instrumentation="rounds")
+        assert self._populate(world) == 1
+        assert world.shard_fallback_reason == "rounds-accounting"
 
     def test_unsafe_delay_policy_forces_one(self):
         world = self._world(delay_policy=UniformDelay(0.5, 1.0, seed=7))
         assert self._populate(world) == 1
+        assert world.shard_fallback_reason == "delay-policy"
+
+    def test_counter_stream_delay_policy_shards(self):
+        world = self._world(
+            delay_policy=UniformDelay(0.5, 1.0, seed=7, stream="counter")
+        )
+        assert self._populate(world) == 4
+        assert world.shard_fallback_reason is None
+
+    def test_sequential_fault_plan_forces_one(self):
+        plan = FaultPlan(crashes=(Crash(party=1, at=0.5),), seed=3)
+        world = self._world(fault_plan=plan)
+        assert self._populate(world) == 1
+        assert world.shard_fallback_reason == "fault-plan"
+
+    def test_counter_fault_plan_shards(self):
+        plan = FaultPlan(
+            crashes=(Crash(party=1, at=0.5),), seed=3, stream="counter"
+        )
+        world = self._world(fault_plan=plan)
+        assert self._populate(world) == 4
+        assert world.shard_fallback_reason is None
 
     def test_gst_wrapping_unsafe_policy_forces_one(self):
         unsafe = GstDelay(
             gst=2.0, big_delta=1.0,
             pre_gst=UniformDelay(0.5, 1.0, seed=7),
         )
-        assert self._populate(self._world(delay_policy=unsafe)) == 1
+        world = self._world(delay_policy=unsafe)
+        assert self._populate(world) == 1
+        assert world.shard_fallback_reason == "delay-policy"
 
     def test_gst_wrapping_safe_policy_shards(self):
         safe = GstDelay(gst=2.0, big_delta=1.0, pre_gst=FixedDelay(0.5))
@@ -237,6 +369,7 @@ class TestForcedSingleProcess:
             start_offsets=[0.0, 0.1, 0.0, 0.0, 0.0, 0.0, 0.0]
         )
         assert self._populate(world) == 1
+        assert world.shard_fallback_reason == "start-offsets"
 
     def test_behavior_factory_forces_one(self):
         from repro.sim.process import Agent
@@ -253,12 +386,25 @@ class TestForcedSingleProcess:
 
         world = self._world(byzantine=frozenset({3}))
         assert self._populate(world, lambda w, p: Silent(w, p)) == 1
+        assert world.shard_fallback_reason == "behavior-factory"
 
     def test_monitors_force_one(self):
         from repro.sim.invariants import AgreementMonitor
 
         world = self._world(monitors=[AgreementMonitor()])
         assert self._populate(world) == 1
+        assert world.shard_fallback_reason == "monitors"
+
+    def test_fallback_reason_surfaces_on_run_result(self):
+        result = _run(
+            "brb_2round", shards=4, instrumentation="perf",
+            delay=UniformDelay(0.5, 1.0, seed=7),
+        )
+        assert result.shards == 1
+        assert result.shard_fallback_reason == "delay-policy"
+        granted = _run("brb_2round", shards=2, instrumentation="perf")
+        assert granted.shards == 2
+        assert granted.shard_fallback_reason is None
 
     def test_max_events_rejected_when_sharded(self):
         world = self._world()
